@@ -1,0 +1,152 @@
+package first_test
+
+// One benchmark per table/figure in the paper's evaluation (§5). Each
+// iteration regenerates the full experiment on the DES substrate and
+// reports the headline measurements as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same series the paper's figures plot. cmd/first-bench renders
+// the same runners as human-readable paper-vs-measured tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/argonne-first/first/internal/experiments"
+)
+
+// BenchmarkFig3RateSweep regenerates Figure 3: FIRST vs vLLM-Direct serving
+// Llama-3.3-70B on one 8×A100 node across offered request rates.
+func BenchmarkFig3RateSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig3(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Rate == "inf" {
+					prefix := "direct"
+					if r.System == "FIRST" {
+						prefix = "first"
+					}
+					b.ReportMetric(r.M.ReqPerSec, prefix+"_req/s")
+					b.ReportMetric(r.M.TokPerSec, prefix+"_tok/s")
+					b.ReportMetric(r.M.MedianLatS, prefix+"_med_s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4AutoScale regenerates Figure 4: 1..4 auto-scaled instances
+// of Llama-3.3-70B under maximum load.
+func BenchmarkFig4AutoScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig4(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.M.ReqPerSec, fmt.Sprintf("inst%d_req/s", r.Instances))
+				b.ReportMetric(r.M.MedianLatS, fmt.Sprintf("inst%d_med_s", r.Instances))
+			}
+		}
+	}
+}
+
+// BenchmarkFig5OpenAIComparison regenerates Figure 5: FIRST (Llama-3.1-8B)
+// vs the rate-limited external cloud API (GPT-4o-mini class).
+func BenchmarkFig5OpenAIComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig5(experiments.DefaultSeed)
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].M.ReqPerSec, "first_req/s")
+			b.ReportMetric(rows[0].M.TokPerSec, "first_tok/s")
+			b.ReportMetric(rows[0].M.MedianLatS, "first_med_s")
+			b.ReportMetric(rows[1].M.ReqPerSec, "openai_req/s")
+			b.ReportMetric(rows[1].M.MedianLatS, "openai_med_s")
+		}
+	}
+}
+
+// BenchmarkTable1WebUIConcurrency regenerates Table 1: closed-loop WebUI
+// sessions at 50-700 concurrency over 60 s and 120 s windows for three
+// models.
+func BenchmarkTable1WebUIConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := experiments.RunTable1(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, c := range cells {
+				if c.Model == "Llama-3.1-8B" && (c.Concurrency == 50 || c.Concurrency == 700) {
+					b.ReportMetric(c.TokPS, fmt.Sprintf("8B_c%d_%ds_tok/s", c.Concurrency, c.WindowS))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBatchMode regenerates the §5.3.1 batch measurement: 1000
+// long-form requests through the offline engine as one dedicated job.
+func BenchmarkBatchMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunBatch(experiments.DefaultSeed)
+		if i == b.N-1 {
+			b.ReportMetric(res.OverallTokPS, "overall_tok/s")
+			b.ReportMetric(res.TotalTimeS, "total_s")
+		}
+	}
+}
+
+// BenchmarkAblationPolling regenerates the Optimization 1 ablation:
+// 2-second result polling vs concurrent futures.
+func BenchmarkAblationPolling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunOpt1Polling(experiments.DefaultSeed)
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].M.MedianLatS, "polling_med_s")
+			b.ReportMetric(rows[1].M.MedianLatS, "futures_med_s")
+		}
+	}
+}
+
+// BenchmarkAblationAuthCache regenerates the Optimization 2 ablation:
+// per-request Globus introspection (rate-limited) vs the token cache.
+func BenchmarkAblationAuthCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunOpt2AuthCache(experiments.DefaultSeed)
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].M.MedianLatS, "uncached_med_s")
+			b.ReportMetric(rows[1].M.MedianLatS, "cached_med_s")
+		}
+	}
+}
+
+// BenchmarkAblationAsyncGateway regenerates the Optimization 3 ablation:
+// the Artillery run (100 req/s × 300 s) against the legacy synchronous
+// gateway vs the async gateway.
+func BenchmarkAblationAsyncGateway(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunOpt3AsyncGateway(experiments.DefaultSeed)
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].M.ReqPerSec, "sync_req/s")
+			b.ReportMetric(rows[1].M.ReqPerSec, "async_req/s")
+			b.ReportMetric(float64(rows[1].HubQueuePeak), "async_fabric_queue")
+		}
+	}
+}
+
+// BenchmarkAblationRouting regenerates the routing-policy design ablation
+// (least-loaded vs round-robin vs random over 4 instances).
+func BenchmarkAblationRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunAblationRouting(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.M.ReqPerSec, r.Policy+"_req/s")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineStep measures the raw cost of one continuous-batching
+// iteration of the engine state machine (substrate micro-benchmark).
+func BenchmarkEngineStep(b *testing.B) {
+	benchEngineStep(b)
+}

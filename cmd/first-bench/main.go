@@ -1,0 +1,22 @@
+// first-bench regenerates every table and figure from the paper's
+// evaluation (§5) on the simulated substrate and prints paper-vs-measured
+// rows. Run with -exp to select one experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/argonne-first/first/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|all")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+	flag.Parse()
+	if err := experiments.Report(os.Stdout, *exp, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

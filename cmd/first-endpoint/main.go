@@ -1,0 +1,76 @@
+// first-endpoint runs a standalone Globus-Compute-style endpoint on a
+// simulated cluster (the administrator's side of §3.2.2): it deploys the
+// requested models, keeps them hot, and prints qstat + deployment status
+// periodically — a facility operator's view of what the fabric does under
+// the gateway.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/cluster"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/metrics"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/scheduler"
+)
+
+func main() {
+	name := flag.String("cluster", "sophia", "cluster name")
+	nodes := flag.Int("nodes", 24, "node count")
+	gpus := flag.Int("gpus", 8, "GPUs per node")
+	models := flag.String("models", perfmodel.Llama70B+","+perfmodel.Llama8B, "comma-separated models to deploy")
+	minInst := flag.Int("min", 1, "min instances per model")
+	maxInst := flag.Int("max", 2, "max instances per model")
+	scale := flag.Int64("scale", 1000, "clock speed-up factor")
+	interval := flag.Duration("interval", 2*time.Second, "status print interval (wall time)")
+	iterations := flag.Int("iterations", 0, "status prints before exiting (0 = forever)")
+	flag.Parse()
+
+	clk := clock.NewScaled(*scale)
+	cl := cluster.New(*name, *nodes, *gpus, perfmodel.A100_40)
+	sched := scheduler.New(cl, clk, scheduler.Config{})
+	ep, err := fabric.NewEndpoint(fabric.EndpointConfig{
+		ID:        "ep-" + *name,
+		Scheduler: sched,
+	}, clk, metrics.NewRegistry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+
+	for _, model := range strings.Split(*models, ",") {
+		model = strings.TrimSpace(model)
+		if model == "" {
+			continue
+		}
+		if _, err := ep.Deploy(fabric.DeploymentConfig{
+			Model:        model,
+			MinInstances: *minInst,
+			MaxInstances: *maxInst,
+		}); err != nil {
+			log.Fatalf("deploying %s: %v", model, err)
+		}
+		fmt.Printf("deployed %s (min=%d max=%d)\n", model, *minInst, *maxInst)
+	}
+
+	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		time.Sleep(*interval)
+		st := cl.Status()
+		fmt.Printf("\n[%s] cluster %s: %d/%d nodes free, %d/%d GPUs free\n",
+			time.Now().Format("15:04:05"), st.Name, st.FreeNodes, st.TotalNodes, st.FreeGPUs, st.TotalGPUs)
+		for _, ms := range ep.ModelStatuses() {
+			fmt.Printf("  model %-50s state=%-8s running=%d starting=%d queued=%d\n",
+				ms.Model, ms.State, ms.Running, ms.Starting, ms.Queued)
+		}
+		for _, jv := range sched.Qstat() {
+			fmt.Printf("  job %4d %-28s %-9s gpus=%d wait=%s run=%s\n",
+				jv.ID, jv.Name, jv.State, jv.GPUs, jv.QueueWait.Truncate(time.Second), jv.Runtime.Truncate(time.Second))
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// firstctl is the researcher-facing CLI (§4.6): chat, embeddings, model and
+// job listings, and batch submission against a running first-gateway.
+//
+//	firstctl -gateway http://localhost:8080 -token $FIRST_TOKEN models
+//	firstctl chat -model meta-llama/Meta-Llama-3.1-8B-Instruct -m "hello"
+//	firstctl jobs
+//	firstctl batch-submit -model ... -file requests.jsonl
+//	firstctl batch-status -id batch_000001
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/openaiapi"
+)
+
+func main() {
+	gatewayURL := flag.String("gateway", envOr("FIRST_GATEWAY", "http://localhost:8080"), "gateway base URL")
+	token := flag.String("token", os.Getenv("FIRST_TOKEN"), "access token (or FIRST_TOKEN)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "request timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := client.New(*gatewayURL, *token)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "models":
+		err = cmdModels(ctx, c)
+	case "jobs":
+		err = cmdJobs(ctx, c)
+	case "chat":
+		err = cmdChat(ctx, c, args)
+	case "embed":
+		err = cmdEmbed(ctx, c, args)
+	case "batch-submit":
+		err = cmdBatchSubmit(ctx, c, args)
+	case "batch-status":
+		err = cmdBatchStatus(ctx, c, args)
+	case "batch-results":
+		err = cmdBatchResults(ctx, c, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "firstctl:", err)
+		os.Exit(1)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: firstctl [flags] <command>
+commands:
+  models                                 list hosted models
+  jobs                                   model availability (running/starting/queued)
+  chat -model M -m TEXT [-max N] [-stream]
+  embed -model M -input TEXT
+  batch-submit -model M -file F.jsonl    submit a batch job
+  batch-status -id ID
+  batch-results -id ID`)
+	os.Exit(2)
+}
+
+func cmdModels(ctx context.Context, c *client.Client) error {
+	list, err := c.Models(ctx)
+	if err != nil {
+		return err
+	}
+	for _, m := range list.Data {
+		fmt.Printf("%-55s %s\n", m.ID, m.Kind)
+	}
+	return nil
+}
+
+func cmdJobs(ctx context.Context, c *client.Client) error {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-55s %-12s %-10s %8s %8s %8s\n", "MODEL", "ENDPOINT", "STATE", "RUNNING", "STARTING", "QUEUED")
+	for _, m := range jobs.Models {
+		fmt.Printf("%-55s %-12s %-10s %8d %8d %8d\n", m.Model, m.Endpoint, m.State, m.Running, m.Starting, m.Queued)
+	}
+	return nil
+}
+
+func cmdChat(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("chat", flag.ExitOnError)
+	model := fs.String("model", "", "model name")
+	message := fs.String("m", "", "user message")
+	maxTok := fs.Int("max", 128, "max completion tokens")
+	stream := fs.Bool("stream", false, "stream the response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := openaiapi.ChatCompletionRequest{
+		Model:     *model,
+		Messages:  []openaiapi.Message{{Role: "user", Content: *message}},
+		MaxTokens: *maxTok,
+	}
+	if *stream {
+		_, err := c.ChatCompletionStream(ctx, req, func(delta string) { fmt.Print(delta) })
+		fmt.Println()
+		return err
+	}
+	resp, err := c.ChatCompletion(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Println(resp.Choices[0].Message.Content)
+	fmt.Fprintf(os.Stderr, "[usage: %d prompt + %d completion tokens]\n",
+		resp.Usage.PromptTokens, resp.Usage.CompletionTokens)
+	return nil
+}
+
+func cmdEmbed(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	model := fs.String("model", "nvidia/NV-Embed-v2", "embedding model")
+	input := fs.String("input", "", "text to embed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := c.Embeddings(ctx, openaiapi.EmbeddingRequest{Model: *model, Input: []string{*input}})
+	if err != nil {
+		return err
+	}
+	v := resp.Data[0].Embedding
+	fmt.Printf("dim=%d head=[%.4f %.4f %.4f %.4f ...]\n", len(v), v[0], v[1], v[2], v[3])
+	return nil
+}
+
+func cmdBatchSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("batch-submit", flag.ExitOnError)
+	model := fs.String("model", "", "model name")
+	file := fs.String("file", "", "JSONL input file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var lines []openaiapi.BatchRequestLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line openaiapi.BatchRequestLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("parsing %s: %w", *file, err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	b, err := c.CreateBatch(ctx, openaiapi.CreateBatchRequest{Model: *model, InputLines: lines})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s: %d requests, status=%s\n", b.ID, b.Total, b.Status)
+	return nil
+}
+
+func cmdBatchStatus(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("batch-status", flag.ExitOnError)
+	id := fs.String("id", "", "batch id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := c.GetBatch(ctx, *id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s status=%s completed=%d/%d output_tokens=%d\n", b.ID, b.Status, b.Completed, b.Total, b.OutputTokens)
+	if b.Error != "" {
+		fmt.Printf("error: %s\n", b.Error)
+	}
+	return nil
+}
+
+func cmdBatchResults(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("batch-results", flag.ExitOnError)
+	id := fs.String("id", "", "batch id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lines, err := c.BatchResults(ctx, *id)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, line := range lines {
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

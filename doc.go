@@ -1,0 +1,10 @@
+// Package first is a from-scratch Go reproduction of "FIRST: Federated
+// Inference Resource Scheduling Toolkit for Scientific AI Model Access"
+// (Tanikanti et al., SC 2025): an Inference-as-a-Service stack for HPC with
+// an OpenAI-compatible gateway, a Globus-Compute-style function fabric,
+// PBS-like schedulers over simulated GPU clusters, vLLM-style continuous-
+// batching serving engines, federation-aware routing, batch mode, and a
+// WebUI backend — plus a discrete-event harness that regenerates every
+// table and figure in the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package first

@@ -1,0 +1,115 @@
+// Federation: demonstrates the §4.5 cluster-agnostic routing policy across
+// two simulated facilities. The same model is configured on Sophia (first
+// in the registry) and Polaris; the example shows the three routing
+// priorities in action: cold-start on the first-configured cluster,
+// preference for the active instance once it is hot, and capacity-based
+// failover when the primary cluster's nodes are exhausted.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/gateway"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+func main() {
+	// A small two-facility federation: Sophia has only two nodes so we can
+	// exhaust it; Polaris is the overflow target.
+	sys, err := core.NewSystem(core.Config{
+		Clock: clock.NewScaled(5000),
+		Clusters: []core.ClusterSpec{
+			{Name: "sophia", Nodes: 2, GPUsPerNode: 8},
+			{Name: "polaris", Nodes: 8, GPUsPerNode: 4},
+		},
+		Deployments: []core.DeploymentSpec{
+			// Fully on-demand (MinInstances 0): first request cold-starts.
+			{
+				Model:    perfmodel.Llama8B,
+				Clusters: []string{"sophia", "polaris"},
+				Config:   fabric.DeploymentConfig{MinInstances: 0, MaxInstances: 2},
+			},
+			// A big model that eats Sophia's nodes.
+			{
+				Model:    perfmodel.Llama70B,
+				Clusters: []string{"sophia"},
+				Config:   fabric.DeploymentConfig{MinInstances: 0, MaxInstances: 2},
+			},
+		},
+		Gateway: gateway.Config{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	if err := sys.RegisterUser("fed", "fed@anl.gov"); err != nil {
+		log.Fatal(err)
+	}
+	grant, _ := sys.Login("fed")
+	c := client.New("", grant.AccessToken, client.WithHandler(sys.Gateway))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	route := func(model string) {
+		d, err := sys.Router.Route(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  route(%s) -> %s  [%s]\n", short(model), d.Endpoint.ID(), d.Reason)
+	}
+
+	fmt.Println("1) Everything cold: capacity rule picks Sophia (first with free nodes):")
+	route(perfmodel.Llama8B)
+
+	fmt.Println("\n2) First request cold-starts the model on the chosen cluster...")
+	if _, err := c.ChatCompletion(ctx, openaiapi.ChatCompletionRequest{
+		Model:     perfmodel.Llama8B,
+		Messages:  []openaiapi.Message{{Role: "user", Content: "warm me up"}},
+		MaxTokens: 16,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("   ...done; the active-instance rule now pins routing there:")
+	route(perfmodel.Llama8B)
+
+	fmt.Println("\n3) Exhaust Sophia with two 70B instances (8 GPUs each)...")
+	ep := sys.Endpoints["ep-sophia"]
+	d70, _ := ep.Deployment(perfmodel.Llama70B)
+	_, _ = d70, ep
+	if _, err := c.ChatCompletion(ctx, openaiapi.ChatCompletionRequest{
+		Model:     perfmodel.Llama70B,
+		Messages:  []openaiapi.Message{{Role: "user", Content: "occupy node one"}},
+		MaxTokens: 8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Clusters["sophia"].Status()
+	fmt.Printf("   sophia now: %d/%d nodes free\n", st.FreeNodes, st.TotalNodes)
+
+	fmt.Println("\n4) /jobs shows the federated availability picture:")
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range jobs.Models {
+		fmt.Printf("   %-35s %-10s %-8s running=%d\n", short(m.Model), m.Cluster, m.State, m.Running)
+	}
+}
+
+func short(model string) string {
+	for i := len(model) - 1; i >= 0; i-- {
+		if model[i] == '/' {
+			return model[i+1:]
+		}
+	}
+	return model
+}

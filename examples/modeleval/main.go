@@ -1,0 +1,93 @@
+// Modeleval reproduces the §6.1 case study: benchmarking a suite of hosted
+// models against the same evaluation prompts through the Inference Gateway.
+// The gateway's ability to swap models per request (no manual deployment
+// steps) is what cut the original team's evaluation time by 40%.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/gateway"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+func main() {
+	// Host an evaluation fleet: several model families on one cluster,
+	// exactly how §6.1's fifteen-model comparison ran (scaled down).
+	evalModels := []string{
+		perfmodel.Llama8B,
+		perfmodel.AuroraGPT,
+		"Qwen/Qwen2.5-7B-Instruct",
+		"mistralai/Mistral-7B-Instruct-v0.3",
+	}
+	deployments := make([]core.DeploymentSpec, len(evalModels))
+	for i, m := range evalModels {
+		deployments[i] = core.DeploymentSpec{
+			Model:    m,
+			Clusters: []string{"sophia"},
+			Config:   fabric.DeploymentConfig{MinInstances: 1, MaxInstances: 1},
+		}
+	}
+	sys, err := core.NewSystem(core.Config{
+		Clock:       clock.NewScaled(20000),
+		Clusters:    []core.ClusterSpec{{Name: "sophia", Nodes: 24, GPUsPerNode: 8}},
+		Deployments: deployments,
+		Gateway:     gateway.Config{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.RegisterUser("eval", "eval@anl.gov"); err != nil {
+		log.Fatal(err)
+	}
+	grant, _ := sys.Login("eval")
+	c := client.New("", grant.AccessToken, client.WithHandler(sys.Gateway))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	prompts := []string{
+		"Define the CFL condition and why it limits explicit time stepping.",
+		"Explain tensor parallelism for transformer inference.",
+		"What is backfill scheduling in PBS?",
+		"Describe how RDMA differs from TCP for MPI traffic.",
+		"When does mixed-precision training diverge and how is it stabilized?",
+	}
+
+	fmt.Printf("evaluating %d models × %d prompts via one gateway — no redeployment between models\n\n",
+		len(evalModels), len(prompts))
+	fmt.Printf("%-40s %10s %12s %12s\n", "MODEL", "requests", "mean-tok", "mean-wall")
+	for _, model := range evalModels {
+		var totalTok int
+		var totalWall time.Duration
+		for _, p := range prompts {
+			start := time.Now()
+			resp, err := c.ChatCompletion(ctx, openaiapi.ChatCompletionRequest{
+				Model:     model,
+				Messages:  []openaiapi.Message{{Role: "user", Content: p}},
+				MaxTokens: 128,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", model, err)
+			}
+			totalTok += resp.Usage.CompletionTokens
+			totalWall += time.Since(start)
+		}
+		fmt.Printf("%-40s %10d %12.1f %12s\n",
+			model, len(prompts),
+			float64(totalTok)/float64(len(prompts)),
+			(totalWall / time.Duration(len(prompts))).Truncate(time.Millisecond))
+	}
+
+	totals := sys.Store.Totals()
+	fmt.Printf("\ngateway logged %d requests, %d output tokens across %d models\n",
+		totals.Requests, totals.OutputTokens, len(totals.ByModel))
+}

@@ -1,0 +1,82 @@
+// Ragassistant reproduces the §6.2 case study: an HPC support chatbot built
+// from FIRST's embedding and inference services. HPC documentation is
+// chunked, embedded with NV-Embed-v2 through /v1/embeddings, indexed in a
+// FAISS-style vector index, and questions are answered with a
+// retrieval-augmented prompt to a chat model.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/ragtool"
+)
+
+var hpcDocs = map[string]string{
+	"queueing-guide": `Jobs on Sophia are submitted with qsub and enter the workq queue by
+default. Interactive jobs use qsub -I. The scheduler allocates whole GPUs; request
+eight GPUs for a full node. Walltime limits are 6 hours for workq and 1 hour for
+debug. Jobs exceeding walltime are terminated and requeued only if -r y is set.
+Priority ages with queue wait time, and backfill lets short jobs run early when
+they fit into scheduling gaps.`,
+	"storage-guide": `Home directories are backed up nightly and limited to 100 GB. Project
+spaces on the parallel filesystem scale to 100 TB and are not backed up. Node-local
+NVMe scratch at /local/scratch offers 15 TB per node and is purged when the job
+ends. Use the data transfer nodes with Globus for bulk movement; interactive scp on
+login nodes is rate limited.`,
+	"gpu-guide": `Each DGX node carries eight A100 GPUs connected by NVLink. Request GPUs
+with the ngpus resource. CUDA_VISIBLE_DEVICES is set automatically to the allocated
+devices. MIG mode is disabled on compute queues. For multi-node training use the
+Mellanox HDR InfiniBand fabric with NCCL; set NCCL_IB_HCA=mlx5 to pin the correct
+interfaces.`,
+	"containers-guide": `Containers run under Apptainer. Build images on your workstation and
+pull them to the cluster; building on compute nodes is not permitted. GPU containers
+need the --nv flag. Bind /lus project directories with -B. MPI containers must match
+the host MPICH ABI; load the mpich module before launching.`,
+}
+
+func main() {
+	sys, err := core.DefaultTestbed(clock.NewScaled(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.RegisterUser("support", "support@anl.gov"); err != nil {
+		log.Fatal(err)
+	}
+	grant, _ := sys.Login("support")
+	c := client.New("", grant.AccessToken, client.WithHandler(sys.Gateway))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	pipe := ragtool.NewPipeline(c, perfmodel.NVEmbed, perfmodel.Llama8B, 4096)
+	nChunks, err := pipe.IngestDocuments(ctx, hpcDocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d chunks from %d documents (dim %d)\n\n", nChunks, len(hpcDocs), pipe.Index().Dim())
+
+	questions := []string{
+		"How much node-local scratch space does each node have, and when is it purged?",
+		"What do I need to do to run a GPU container?",
+		"How long can a job in the default queue run?",
+	}
+	for _, q := range questions {
+		answer, hits, err := pipe.Answer(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\n", q)
+		fmt.Printf("   retrieved:")
+		for _, h := range hits {
+			fmt.Printf(" %s(%.2f)", h.Doc.ID, h.Score)
+		}
+		fmt.Printf("\n   A: %.100s...\n\n", answer)
+	}
+}

@@ -1,0 +1,282 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/argonne-first/first/internal/clock"
+)
+
+func newTestService(t *testing.T, cfg Config) (*Service, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual(time.Date(2025, 10, 15, 12, 0, 0, 0, time.UTC))
+	if cfg.IntrospectLatency == 0 {
+		cfg.IntrospectLatency = -1 // disable modeled latency: Manual clocks block on Sleep
+	}
+	svc := NewService(clk, cfg)
+	svc.RegisterProvider(Provider{Name: "anl"})
+	if err := svc.RegisterUser(Identity{Sub: "alice", Username: "alice@anl.gov", Provider: "anl", MFAPassed: true}); err != nil {
+		t.Fatal(err)
+	}
+	return svc, clk
+}
+
+func TestLoginIntrospectRoundtrip(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	grant, err := svc.Login("alice", "first:inference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(grant.AccessToken, "fa_") {
+		t.Errorf("token format: %s", grant.AccessToken[:8])
+	}
+	info, err := svc.introspectLocal(grant.AccessToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Active || info.Sub != "alice" || info.Username != "alice@anl.gov" {
+		t.Errorf("info = %+v", info)
+	}
+	if !info.HasScope("first:inference") {
+		t.Error("scope missing")
+	}
+	if info.HasScope("other") {
+		t.Error("phantom scope")
+	}
+}
+
+func TestTokenTamperingDetectedProperty(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	grant, _ := svc.Login("alice")
+	token := grant.AccessToken
+	err := quick.Check(func(pos uint16, delta uint8) bool {
+		i := 3 + int(pos)%(len(token)-3) // keep the fa_ prefix
+		if delta == 0 {
+			delta = 1
+		}
+		mutated := token[:i] + string(token[i]^byte(delta)) + token[i+1:]
+		if mutated == token {
+			return true
+		}
+		_, err := svc.introspectLocal(mutated)
+		return err != nil
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenExpiresAfter48h(t *testing.T) {
+	svc, clk := newTestService(t, Config{})
+	grant, _ := svc.Login("alice")
+	if _, err := svc.introspectLocal(grant.AccessToken); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	clk.Advance(47 * time.Hour)
+	if _, err := svc.introspectLocal(grant.AccessToken); err != nil {
+		t.Fatalf("47h token rejected: %v", err)
+	}
+	clk.Advance(2 * time.Hour)
+	_, err := svc.introspectLocal(grant.AccessToken)
+	if !errors.Is(err, ErrExpiredToken) {
+		t.Errorf("49h token err = %v, want expired", err)
+	}
+}
+
+func TestRefreshFlow(t *testing.T) {
+	svc, clk := newTestService(t, Config{})
+	grant, _ := svc.Login("alice", "s1")
+	clk.Advance(40 * time.Hour)
+	fresh, err := svc.Refresh(grant.RefreshToken, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Hour) // original now expired, refreshed still valid
+	if _, err := svc.introspectLocal(grant.AccessToken); err == nil {
+		t.Error("original token should have expired")
+	}
+	if _, err := svc.introspectLocal(fresh.AccessToken); err != nil {
+		t.Errorf("refreshed token rejected: %v", err)
+	}
+	if _, err := svc.Refresh("fr_bogus"); err == nil {
+		t.Error("bogus refresh token accepted")
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	grant, _ := svc.Login("alice")
+	if err := svc.Revoke(grant.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.introspectLocal(grant.AccessToken)
+	if !errors.Is(err, ErrRevokedToken) {
+		t.Errorf("err = %v, want revoked", err)
+	}
+	if err := svc.Revoke("fa_garbage.sig"); err == nil {
+		t.Error("revoking invalid token should error")
+	}
+}
+
+func TestMFAEnforcement(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	svc.RegisterProvider(Provider{Name: "strict", RequireMFA: true})
+	svc.RegisterUser(Identity{Sub: "bob", Username: "bob@x.org", Provider: "strict", MFAPassed: false})
+	if _, err := svc.Login("bob"); !errors.Is(err, ErrMFARequired) {
+		t.Errorf("err = %v, want MFA required", err)
+	}
+	svc.RegisterUser(Identity{Sub: "bob", Username: "bob@x.org", Provider: "strict", MFAPassed: true})
+	if _, err := svc.Login("bob"); err != nil {
+		t.Errorf("MFA-passed login failed: %v", err)
+	}
+}
+
+func TestUnknownUserAndProvider(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	if _, err := svc.Login("stranger"); err == nil {
+		t.Error("unknown identity logged in")
+	}
+	if err := svc.RegisterUser(Identity{Sub: "x", Provider: "nowhere"}); err == nil {
+		t.Error("unknown provider accepted")
+	}
+}
+
+func TestConfidentialClientIntrospection(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	secret := svc.RegisterConfidentialClient("gw")
+	grant, _ := svc.Login("alice")
+	info, err := svc.Introspect("gw", secret, grant.AccessToken)
+	if err != nil || !info.Active {
+		t.Fatalf("introspect: %v %+v", err, info)
+	}
+	if _, err := svc.Introspect("gw", "wrong-secret", grant.AccessToken); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("bad secret err = %v", err)
+	}
+	if _, err := svc.Introspect("nobody", secret, grant.AccessToken); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("unknown client err = %v", err)
+	}
+}
+
+func TestIntrospectionRateLimit(t *testing.T) {
+	svc, _ := newTestService(t, Config{IntrospectRatePerSec: 2})
+	secret := svc.RegisterConfidentialClient("gw")
+	grant, _ := svc.Login("alice")
+	var limited int
+	for i := 0; i < 20; i++ {
+		if _, err := svc.Introspect("gw", secret, grant.AccessToken); errors.Is(err, ErrRateLimited) {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Error("rate limit never fired over 20 instant calls at 2/s")
+	}
+}
+
+func TestGroupsMembership(t *testing.T) {
+	svc, _ := newTestService(t, Config{})
+	svc.AddToGroup("hpc-users", "alice")
+	svc.AddToGroup("sensitive", "alice")
+	grant, _ := svc.Login("alice")
+	info, _ := svc.introspectLocal(grant.AccessToken)
+	if len(info.Groups) != 2 {
+		t.Fatalf("groups = %v", info.Groups)
+	}
+	svc.RemoveFromGroup("sensitive", "alice")
+	info, _ = svc.introspectLocal(grant.AccessToken)
+	if len(info.Groups) != 1 || info.Groups[0] != "hpc-users" {
+		t.Errorf("groups after removal = %v", info.Groups)
+	}
+}
+
+func TestPolicyAuthorize(t *testing.T) {
+	p := NewPolicy("first:inference")
+	open := TokenInfo{Active: true, Sub: "a", Scopes: []string{"first:inference"}}
+	if err := p.Authorize(open, "any/model"); err != nil {
+		t.Errorf("open model rejected: %v", err)
+	}
+	noScope := TokenInfo{Active: true, Sub: "a"}
+	if err := p.Authorize(noScope, "any/model"); !errors.Is(err, ErrDenied) {
+		t.Errorf("missing scope err = %v", err)
+	}
+	inactive := TokenInfo{Active: false}
+	if err := p.Authorize(inactive, "any/model"); !errors.Is(err, ErrInvalidToken) {
+		t.Errorf("inactive err = %v", err)
+	}
+
+	p.Restrict("secret/model", "project-x")
+	if err := p.Authorize(open, "secret/model"); !errors.Is(err, ErrDenied) {
+		t.Errorf("non-member allowed: %v", err)
+	}
+	member := TokenInfo{Active: true, Scopes: []string{"first:inference"}, Groups: []string{"project-x"}}
+	if err := p.Authorize(member, "secret/model"); err != nil {
+		t.Errorf("member rejected: %v", err)
+	}
+}
+
+func TestTokenCacheHitsAndInvalidation(t *testing.T) {
+	svc, clk := newTestService(t, Config{})
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Minute)
+	grant, _ := svc.Login("alice")
+
+	if _, err := cache.Introspect(grant.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Introspect(grant.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	// TTL expiry forces a re-introspection.
+	clk.Advance(2 * time.Minute)
+	if _, err := cache.Introspect(grant.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses = cache.Stats(); misses != 2 {
+		t.Errorf("misses = %d after TTL", misses)
+	}
+	cache.Invalidate(grant.AccessToken)
+	cache.Introspect(grant.AccessToken)
+	if _, misses = cache.Stats(); misses != 3 {
+		t.Errorf("misses = %d after invalidate", misses)
+	}
+}
+
+func TestTokenCacheProtectsFromRateLimit(t *testing.T) {
+	// Optimization 2's point: with caching, many requests cost one
+	// introspection and never trip the service-side limiter.
+	svc, clk := newTestService(t, Config{IntrospectRatePerSec: 2})
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Hour)
+	grant, _ := svc.Login("alice")
+	for i := 0; i < 100; i++ {
+		if _, err := cache.Introspect(grant.AccessToken); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 || hits != 99 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+}
+
+func TestIntrospectLatencyCharged(t *testing.T) {
+	clk := clock.NewScaled(100000)
+	svc := NewService(clk, Config{IntrospectLatency: 300 * time.Millisecond})
+	svc.RegisterProvider(Provider{Name: "anl"})
+	svc.RegisterUser(Identity{Sub: "a", Username: "a@anl.gov", Provider: "anl"})
+	secret := svc.RegisterConfidentialClient("gw")
+	grant, _ := svc.Login("a")
+	start := clk.Now()
+	if _, err := svc.Introspect("gw", secret, grant.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if virtual := clk.Since(start); virtual < 300*time.Millisecond {
+		t.Errorf("introspection charged only %v of virtual latency", virtual)
+	}
+}

@@ -1,0 +1,252 @@
+// Package client is the user-side SDK (§4.6): researchers interact with the
+// gateway through standard HTTP clients or the OpenAI package; this is the
+// equivalent Go client, with helpers for the Globus-style login flow and an
+// in-memory transport so examples and tests can talk to a gateway without
+// opening sockets.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"github.com/argonne-first/first/internal/openaiapi"
+)
+
+// Client talks to a FIRST gateway.
+type Client struct {
+	baseURL string
+	token   string
+	httpc   *http.Client
+}
+
+// Option configures a client.
+type Option func(*Client)
+
+// WithHTTPClient overrides the HTTP client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpc = h }
+}
+
+// WithHandler wires the client directly to an http.Handler in-process —
+// requests never touch the network. Ideal for tests and examples.
+func WithHandler(h http.Handler) Option {
+	return func(c *Client) {
+		c.httpc = &http.Client{Transport: handlerTransport{h: h}}
+		if c.baseURL == "" {
+			c.baseURL = "http://first.gateway.local"
+		}
+	}
+}
+
+type handlerTransport struct {
+	h http.Handler
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// New returns a client for the gateway at baseURL using the access token.
+func New(baseURL, token string, opts ...Option) *Client {
+	c := &Client{baseURL: baseURL, token: token, httpc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// SetToken replaces the bearer token (after a refresh).
+func (c *Client) SetToken(token string) { c.token = token }
+
+// APIError is a non-2xx gateway response.
+type APIError struct {
+	StatusCode int
+	Type       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gateway: HTTP %d (%s): %s", e.StatusCode, e.Type, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var envelope openaiapi.ErrorResponse
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Message != "" {
+			return &APIError{StatusCode: resp.StatusCode, Type: envelope.Error.Type, Message: envelope.Error.Message}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// ChatCompletion performs a blocking chat request.
+func (c *Client) ChatCompletion(ctx context.Context, req openaiapi.ChatCompletionRequest) (openaiapi.ChatCompletionResponse, error) {
+	var resp openaiapi.ChatCompletionResponse
+	req.Stream = false
+	err := c.do(ctx, http.MethodPost, "/v1/chat/completions", req, &resp)
+	return resp, err
+}
+
+// ChatCompletionStream performs a streaming chat request, invoking onDelta
+// per content delta, and returns the assembled text.
+func (c *Client) ChatCompletionStream(ctx context.Context, req openaiapi.ChatCompletionRequest, onDelta func(string)) (string, error) {
+	req.Stream = true
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/chat/completions", bytes.NewReader(buf))
+	if err != nil {
+		return "", err
+	}
+	httpReq.Header.Set("Authorization", "Bearer "+c.token)
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(httpReq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(resp.Body)
+		var envelope openaiapi.ErrorResponse
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Message != "" {
+			return "", &APIError{StatusCode: resp.StatusCode, Type: envelope.Error.Type, Message: envelope.Error.Message}
+		}
+		return "", &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw)}
+	}
+	var full bytes.Buffer
+	err = openaiapi.ReadSSE(resp.Body, func(data []byte) error {
+		var chunk openaiapi.StreamChunk
+		if err := json.Unmarshal(data, &chunk); err != nil {
+			return err
+		}
+		for _, ch := range chunk.Choices {
+			if ch.Delta != nil && ch.Delta.Content != "" {
+				full.WriteString(ch.Delta.Content)
+				if onDelta != nil {
+					onDelta(ch.Delta.Content)
+				}
+			}
+		}
+		return nil
+	})
+	return full.String(), err
+}
+
+// Completion performs a text completion.
+func (c *Client) Completion(ctx context.Context, req openaiapi.CompletionRequest) (openaiapi.CompletionResponse, error) {
+	var resp openaiapi.CompletionResponse
+	err := c.do(ctx, http.MethodPost, "/v1/completions", req, &resp)
+	return resp, err
+}
+
+// Embeddings computes embeddings.
+func (c *Client) Embeddings(ctx context.Context, req openaiapi.EmbeddingRequest) (openaiapi.EmbeddingResponse, error) {
+	var resp openaiapi.EmbeddingResponse
+	err := c.do(ctx, http.MethodPost, "/v1/embeddings", req, &resp)
+	return resp, err
+}
+
+// Models lists hosted models.
+func (c *Client) Models(ctx context.Context) (openaiapi.ModelList, error) {
+	var resp openaiapi.ModelList
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &resp)
+	return resp, err
+}
+
+// Jobs reports model availability (§4.3).
+func (c *Client) Jobs(ctx context.Context) (openaiapi.JobsResponse, error) {
+	var resp openaiapi.JobsResponse
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &resp)
+	return resp, err
+}
+
+// CreateBatch submits a batch job (§4.4).
+func (c *Client) CreateBatch(ctx context.Context, req openaiapi.CreateBatchRequest) (openaiapi.BatchObject, error) {
+	var resp openaiapi.BatchObject
+	err := c.do(ctx, http.MethodPost, "/v1/batches", req, &resp)
+	return resp, err
+}
+
+// GetBatch fetches batch status.
+func (c *Client) GetBatch(ctx context.Context, id string) (openaiapi.BatchObject, error) {
+	var resp openaiapi.BatchObject
+	err := c.do(ctx, http.MethodGet, "/v1/batches/"+id, nil, &resp)
+	return resp, err
+}
+
+// BatchResults downloads a completed batch's JSONL output.
+func (c *Client) BatchResults(ctx context.Context, id string) ([]openaiapi.BatchResponseLine, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/batches/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw)}
+	}
+	var lines []openaiapi.BatchResponseLine
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line openaiapi.BatchResponseLine
+		if err := dec.Decode(&line); err != nil {
+			return nil, err
+		}
+		lines = append(lines, line)
+	}
+	return lines, nil
+}
+
+// CancelBatch cancels a batch.
+func (c *Client) CancelBatch(ctx context.Context, id string) (openaiapi.BatchObject, error) {
+	var resp openaiapi.BatchObject
+	err := c.do(ctx, http.MethodPost, "/v1/batches/"+id+"/cancel", nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/argonne-first/first/internal/openaiapi"
+)
+
+// fakeGateway is a minimal OpenAI-compatible handler for SDK tests.
+type fakeGateway struct {
+	lastAuth string
+	lastBody []byte
+}
+
+func (f *fakeGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.lastAuth = r.Header.Get("Authorization")
+	if r.Body != nil {
+		buf := make([]byte, 1<<16)
+		n, _ := r.Body.Read(buf)
+		f.lastBody = buf[:n]
+	}
+	switch r.URL.Path {
+	case "/v1/chat/completions":
+		var req openaiapi.ChatCompletionRequest
+		json.Unmarshal(f.lastBody, &req)
+		if req.Model == "missing/model" {
+			w.WriteHeader(404)
+			json.NewEncoder(w).Encode(openaiapi.NewError("invalid_request_error", "no such model"))
+			return
+		}
+		if req.Stream {
+			w.Header().Set("Content-Type", "text/event-stream")
+			openaiapi.WriteSSE(w, openaiapi.StreamChunk{
+				Choices: []openaiapi.Choice{{Delta: &openaiapi.Message{Content: "streamed "}}},
+			})
+			openaiapi.WriteSSE(w, openaiapi.StreamChunk{
+				Choices: []openaiapi.Choice{{Delta: &openaiapi.Message{Content: "reply"}}},
+			})
+			openaiapi.WriteSSEDone(w)
+			return
+		}
+		json.NewEncoder(w).Encode(openaiapi.ChatCompletionResponse{
+			ID: "c1", Model: req.Model,
+			Choices: []openaiapi.Choice{{Message: &openaiapi.Message{Role: "assistant", Content: "pong"}}},
+			Usage:   openaiapi.Usage{PromptTokens: 2, CompletionTokens: 1, TotalTokens: 3},
+		})
+	case "/v1/models":
+		json.NewEncoder(w).Encode(openaiapi.ModelList{Object: "list", Data: []openaiapi.Model{{ID: "m1"}}})
+	case "/v1/batches/b1/results":
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		enc.Encode(openaiapi.BatchResponseLine{CustomID: "r1", Status: 200})
+		enc.Encode(openaiapi.BatchResponseLine{CustomID: "r2", Status: 200})
+	default:
+		w.WriteHeader(404)
+		json.NewEncoder(w).Encode(openaiapi.NewError("invalid_request_error", "nope"))
+	}
+}
+
+func TestClientSendsBearerToken(t *testing.T) {
+	fg := &fakeGateway{}
+	c := New("", "tok-123", WithHandler(fg))
+	if _, err := c.Models(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if fg.lastAuth != "Bearer tok-123" {
+		t.Errorf("auth header = %q", fg.lastAuth)
+	}
+	c.SetToken("tok-456")
+	c.Models(context.Background())
+	if fg.lastAuth != "Bearer tok-456" {
+		t.Errorf("auth after SetToken = %q", fg.lastAuth)
+	}
+}
+
+func TestClientChatRoundtrip(t *testing.T) {
+	c := New("", "t", WithHandler(&fakeGateway{}))
+	resp, err := c.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "ping"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Choices[0].Message.Content != "pong" {
+		t.Errorf("content = %q", resp.Choices[0].Message.Content)
+	}
+}
+
+func TestClientAPIError(t *testing.T) {
+	c := New("", "t", WithHandler(&fakeGateway{}))
+	_, err := c.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "missing/model",
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.StatusCode != 404 || apiErr.Type != "invalid_request_error" {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), "404") {
+		t.Errorf("Error() = %q", apiErr.Error())
+	}
+}
+
+func TestClientStreaming(t *testing.T) {
+	c := New("", "t", WithHandler(&fakeGateway{}))
+	var deltas []string
+	full, err := c.ChatCompletionStream(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	}, func(d string) { deltas = append(deltas, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != "streamed reply" {
+		t.Errorf("full = %q", full)
+	}
+	if len(deltas) != 2 {
+		t.Errorf("deltas = %v", deltas)
+	}
+}
+
+func TestClientBatchResultsJSONL(t *testing.T) {
+	c := New("", "t", WithHandler(&fakeGateway{}))
+	lines, err := c.BatchResults(context.Background(), "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || lines[0].CustomID != "r1" {
+		t.Errorf("lines = %+v", lines)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	c := New("", "t", WithHandler(&fakeGateway{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Models(ctx); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}

@@ -1,0 +1,187 @@
+// Package clock abstracts time so the FIRST stack can run against the real
+// wall clock, a scaled (time-dilated) clock for fast examples and tests, or a
+// manually stepped clock for deterministic unit tests.
+//
+// All long-running components in the live stack (serving engines, schedulers,
+// endpoint managers, hot-node reapers) take a Clock rather than calling the
+// time package directly. The discrete-event simulation in internal/sim keeps
+// its own virtual timeline and does not use this package.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used by live components.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for at least d (subject to the clock's scaling).
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the then-current time after d.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// NewReal returns the wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Scaled is a clock that runs faster than real time by an integer factor.
+// A Scaled clock with Factor 100 makes a component that "sleeps 2 s" sleep
+// 20 ms of wall time while reporting virtual timestamps that advanced by the
+// full 2 s. It lets the live stack (HTTP gateway included) exercise
+// HPC-scale timings in milliseconds.
+type Scaled struct {
+	factor int64
+	epoch  time.Time // wall time at construction
+	origin time.Time // virtual time at construction
+}
+
+// NewScaled returns a clock running factor× faster than wall time.
+// factor must be >= 1.
+func NewScaled(factor int64) *Scaled {
+	if factor < 1 {
+		factor = 1
+	}
+	now := time.Now()
+	return &Scaled{factor: factor, epoch: now, origin: now}
+}
+
+// Factor reports the speed-up factor.
+func (s *Scaled) Factor() int64 { return s.factor }
+
+// Now implements Clock; virtual time advances factor× wall time.
+func (s *Scaled) Now() time.Time {
+	wall := time.Since(s.epoch)
+	return s.origin.Add(wall * time.Duration(s.factor))
+}
+
+// Sleep implements Clock: a virtual duration d costs d/factor wall time.
+func (s *Scaled) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(s.compress(d))
+}
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(s.compress(d))
+		ch <- s.Now()
+	}()
+	return ch
+}
+
+// Since implements Clock.
+func (s *Scaled) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+func (s *Scaled) compress(d time.Duration) time.Duration {
+	c := d / time.Duration(s.factor)
+	if c <= 0 && d > 0 {
+		c = time.Nanosecond
+	}
+	return c
+}
+
+// Manual is a test clock that only advances when Advance is called. Sleepers
+// block until the clock passes their deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock; it blocks until Advance moves past the deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- m.now
+		return w.ch
+	}
+	m.waiters = append(m.waiters, w)
+	return w.ch
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+// Advance moves the clock forward by d, releasing any waiters whose deadline
+// has been reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var remaining []*manualWaiter
+	var fired []*manualWaiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// PendingWaiters reports how many sleepers are blocked (useful in tests).
+func (m *Manual) PendingWaiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+var (
+	_ Clock = Real{}
+	_ Clock = (*Scaled)(nil)
+	_ Clock = (*Manual)(nil)
+)

@@ -1,0 +1,173 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now too far in the past: %v", now)
+	}
+	start := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	if c.Since(start) < 4*time.Millisecond {
+		t.Errorf("Sleep(5ms) returned after %v", c.Since(start))
+	}
+}
+
+func TestScaledFactorClamped(t *testing.T) {
+	if f := NewScaled(0).Factor(); f != 1 {
+		t.Errorf("factor 0 should clamp to 1, got %d", f)
+	}
+	if f := NewScaled(-5).Factor(); f != 1 {
+		t.Errorf("negative factor should clamp to 1, got %d", f)
+	}
+	if f := NewScaled(100).Factor(); f != 100 {
+		t.Errorf("factor = %d, want 100", f)
+	}
+}
+
+func TestScaledVirtualTimeAdvancesFaster(t *testing.T) {
+	c := NewScaled(1000)
+	start := c.Now()
+	time.Sleep(10 * time.Millisecond)
+	virtual := c.Since(start)
+	if virtual < 5*time.Second {
+		t.Errorf("1000x clock advanced only %v over ~10ms wall", virtual)
+	}
+}
+
+func TestScaledSleepCompresses(t *testing.T) {
+	c := NewScaled(1000)
+	wallStart := time.Now()
+	c.Sleep(2 * time.Second) // should cost ~2ms wall
+	wall := time.Since(wallStart)
+	if wall > 500*time.Millisecond {
+		t.Errorf("scaled sleep of 2s virtual took %v wall", wall)
+	}
+}
+
+func TestScaledSleepZeroAndNegative(t *testing.T) {
+	c := NewScaled(10)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(<=0) blocked")
+	}
+}
+
+func TestScaledAfterDelivers(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(3 * time.Second):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After(3s virtual) did not fire within 2s wall at 1000x")
+	}
+}
+
+func TestScaledNowMonotonic(t *testing.T) {
+	c := NewScaled(5000)
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now.Before(prev) {
+			t.Fatalf("Now went backwards: %v then %v", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestManualClockAdvance(t *testing.T) {
+	start := time.Date(2025, 10, 15, 0, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(90 * time.Second)
+	if got := m.Since(start); got != 90*time.Second {
+		t.Errorf("Since = %v, want 90s", got)
+	}
+}
+
+func TestManualSleepBlocksUntilAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	woke := make(chan struct{})
+	go func() {
+		m.Sleep(10 * time.Second)
+		close(woke)
+	}()
+	// Wait until the sleeper registers.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke before Advance")
+	default:
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke too early (5s of 10s)")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper did not wake after full Advance")
+	}
+}
+
+func TestManualAfterImmediateForNonPositive(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	select {
+	case <-m.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) should deliver immediately")
+	}
+	select {
+	case <-m.After(-time.Minute):
+	case <-time.After(time.Second):
+		t.Fatal("After(negative) should deliver immediately")
+	}
+}
+
+func TestManualMultipleWaitersReleaseInOrderOfDeadline(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	got := make(chan int, 2)
+	go func() { m.Sleep(1 * time.Second); got <- 1 }()
+	go func() { m.Sleep(3 * time.Second); got <- 3 }()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.PendingWaiters() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(2 * time.Second)
+	if v := <-got; v != 1 {
+		t.Fatalf("first waiter released = %d, want 1", v)
+	}
+	if m.PendingWaiters() != 1 {
+		t.Fatalf("pending = %d, want 1", m.PendingWaiters())
+	}
+	m.Advance(2 * time.Second)
+	if v := <-got; v != 3 {
+		t.Fatalf("second waiter released = %d, want 3", v)
+	}
+}

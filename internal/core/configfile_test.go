@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+const sampleConfig = `{
+  "clusters": [
+    {"name": "sophia", "nodes": 4, "gpus_per_node": 8, "prologue_s": 10},
+    {"name": "polaris", "nodes": 8, "gpus_per_node": 4, "backfill": true}
+  ],
+  "models": [
+    {"model": "meta-llama/Meta-Llama-3.1-8B-Instruct",
+     "clusters": ["sophia", "polaris"],
+     "min_instances": 1, "max_instances": 2, "hot_idle_timeout_s": 7200},
+    {"model": "meta-llama/Llama-3.3-70B-Instruct",
+     "clusters": ["sophia"], "restrict_to_group": "big-model-users"}
+  ],
+  "gateway": {"in_flight_limit": 256, "user_rate_per_sec": 50, "cache_ttl_s": 60}
+}`
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "first.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigAndBuildSystem(t *testing.T) {
+	path := writeConfig(t, sampleConfig)
+	sys, err := NewSystemFromFile(path, clock.NewScaled(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	if len(sys.Clusters) != 2 || sys.Clusters["polaris"].NodeCount() != 8 {
+		t.Errorf("clusters misbuilt")
+	}
+	if got := len(sys.Router.Endpoints(perfmodel.Llama8B)); got != 2 {
+		t.Errorf("8B routes = %d, want 2 (federated)", got)
+	}
+	// The restricted model enforces its group end-to-end.
+	sys.RegisterUser("u", "u@anl.gov")
+	grant, _ := sys.Login("u")
+	c := client.New("", grant.AccessToken, client.WithHandler(sys.Gateway))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_, err = c.ChatCompletion(ctx, openaiapi.ChatCompletionRequest{
+		Model:    perfmodel.Llama70B,
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	})
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 403 {
+		t.Errorf("restricted model err = %v, want 403", err)
+	}
+	// Unrestricted model works.
+	if _, err := c.ChatCompletion(ctx, openaiapi.ChatCompletionRequest{
+		Model:     perfmodel.Llama8B,
+		Messages:  []openaiapi.Message{{Role: "user", Content: "x"}},
+		MaxTokens: 4,
+	}); err != nil {
+		t.Errorf("open model failed: %v", err)
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	cases := map[string]string{
+		"no clusters":     `{"models":[{"model":"m","clusters":["x"]}]}`,
+		"bad cluster":     `{"clusters":[{"name":"", "nodes":0, "gpus_per_node":0}], "models":[{"model":"m","clusters":["x"]}]}`,
+		"dup cluster":     `{"clusters":[{"name":"a","nodes":1,"gpus_per_node":1},{"name":"a","nodes":1,"gpus_per_node":1}], "models":[{"model":"m","clusters":["a"]}]}`,
+		"no models":       `{"clusters":[{"name":"a","nodes":1,"gpus_per_node":1}]}`,
+		"unknown cluster": `{"clusters":[{"name":"a","nodes":1,"gpus_per_node":1}], "models":[{"model":"m","clusters":["zzz"]}]}`,
+		"nameless model":  `{"clusters":[{"name":"a","nodes":1,"gpus_per_node":1}], "models":[{"model":"","clusters":["a"]}]}`,
+		"not json":        `{nope`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := writeConfig(t, content)
+			if _, err := LoadConfig(path); err == nil {
+				t.Errorf("accepted invalid config: %s", content)
+			}
+		})
+	}
+	if _, err := LoadConfig("/no/such/file.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestConfigGatewayTunables(t *testing.T) {
+	path := writeConfig(t, sampleConfig)
+	fc, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, restricted := fc.ToSystemConfig()
+	if cfg.Gateway.InFlightLimit != 256 || cfg.Gateway.UserRatePerSec != 50 {
+		t.Errorf("gateway tunables = %+v", cfg.Gateway)
+	}
+	if cfg.Gateway.CacheTTL != time.Minute {
+		t.Errorf("cache ttl = %v", cfg.Gateway.CacheTTL)
+	}
+	if restricted[perfmodel.Llama70B] != "big-model-users" {
+		t.Errorf("restrictions = %v", restricted)
+	}
+	if cfg.Clusters[0].Prologue != 10*time.Second || !cfg.Clusters[1].Backfill {
+		t.Errorf("cluster tunables = %+v", cfg.Clusters)
+	}
+}

@@ -1,0 +1,142 @@
+// Package desmodel wires the serving engine and the calibrated overhead
+// models into deterministic discrete-event scenarios that regenerate the
+// paper's evaluation (Figures 3-5, Table 1, the batch-mode numbers, and the
+// three optimization ablations) in virtual time.
+//
+// Three request paths are modeled (§5.2.3):
+//
+//   - FIRST: client → gateway (worker window, processing overhead, optional
+//     per-request auth introspection) → Globus-Compute hub (submit latency,
+//     serialized dispatch/relay lanes) → endpoint pickup → least-loaded
+//     engine instance → result relay back (optionally observed on a polling
+//     grid — Optimization 1's ablation).
+//   - Direct: client → vLLM's own API front-end (single-threaded admission,
+//     the §5.3.1 bottleneck) → engine.
+//   - ExtAPI: client → rate/concurrency-limited external cloud API (Fig. 5).
+//
+// All scenarios consume workload traces from internal/workload and report
+// the paper's §5.1 metrics.
+package desmodel
+
+import (
+	"sort"
+	"time"
+
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// Req is one request flowing through a scenario.
+type Req struct {
+	ID        int
+	PromptTok int
+	OutputTok int
+
+	ArrivalAt   sim.Time // client send time
+	GatewayAt   sim.Time // admitted into the gateway window
+	EngineAt    sim.Time // submitted to an engine
+	CompletedAt sim.Time // engine finished + results relayed
+	ObservedAt  sim.Time // client saw the result (poll grid)
+
+	Failed bool
+}
+
+// Latency returns the client-observed end-to-end latency.
+func (r *Req) Latency() time.Duration { return r.ObservedAt - r.ArrivalAt }
+
+// Metrics are the paper's §5.1 evaluation metrics for one run.
+type Metrics struct {
+	Requests      int
+	Completed     int
+	Failed        int
+	DurationS     float64 // benchmark duration: first arrival → last observed
+	ReqPerSec     float64 // request throughput
+	TokPerSec     float64 // output token throughput
+	MedianLatS    float64 // median end-to-end latency
+	MeanLatS      float64
+	P99LatS       float64
+	OutputTokens  int64
+	PeakObservedB int // peak engine batch across instances
+}
+
+// Collect computes metrics over finished requests.
+func Collect(reqs []*Req) Metrics {
+	var m Metrics
+	m.Requests = len(reqs)
+	var latencies []float64
+	var last sim.Time
+	var sumLat float64
+	for _, r := range reqs {
+		if r.Failed || r.ObservedAt == 0 {
+			m.Failed++
+			continue
+		}
+		m.Completed++
+		m.OutputTokens += int64(r.OutputTok)
+		lat := sim.Sec(r.Latency())
+		latencies = append(latencies, lat)
+		sumLat += lat
+		if r.ObservedAt > last {
+			last = r.ObservedAt
+		}
+	}
+	if m.Completed == 0 {
+		return m
+	}
+	m.DurationS = sim.Sec(last)
+	if m.DurationS > 0 {
+		m.ReqPerSec = float64(m.Completed) / m.DurationS
+		m.TokPerSec = float64(m.OutputTokens) / m.DurationS
+	}
+	sort.Float64s(latencies)
+	m.MedianLatS = latencies[len(latencies)/2]
+	m.MeanLatS = sumLat / float64(len(latencies))
+	p99 := int(0.99 * float64(len(latencies)))
+	if p99 >= len(latencies) {
+		p99 = len(latencies) - 1
+	}
+	m.P99LatS = latencies[p99]
+	return m
+}
+
+// lane is a serialized single-server queue: every item charges `cost`
+// before delivery. It models the hub's routing and relay lanes and the
+// direct path's single-threaded API admission.
+type lane struct {
+	k     *sim.Kernel
+	cost  time.Duration
+	busy  bool
+	queue []func()
+	// depth diagnostics
+	maxDepth int
+}
+
+func newLane(k *sim.Kernel, cost time.Duration) *lane {
+	return &lane{k: k, cost: cost}
+}
+
+func (l *lane) enqueue(fn func()) {
+	l.queue = append(l.queue, fn)
+	if len(l.queue) > l.maxDepth {
+		l.maxDepth = len(l.queue)
+	}
+	if !l.busy {
+		l.busy = true
+		l.k.Schedule(0, l.serve)
+	}
+}
+
+func (l *lane) serve() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	fn := l.queue[0]
+	l.queue = l.queue[1:]
+	l.k.Schedule(l.cost, func() {
+		fn()
+		l.serve()
+	})
+}
+
+// Depth returns the current queue length (excluding the in-service item).
+func (l *lane) Depth() int { return len(l.queue) }

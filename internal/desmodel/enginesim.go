@@ -1,0 +1,97 @@
+package desmodel
+
+import (
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/serving"
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// EngineSim steps a serving.Engine on the event kernel: one event per
+// continuous-batching iteration, completions delivered at iteration ends.
+type EngineSim struct {
+	k          *sim.Kernel
+	eng        *serving.Engine
+	running    bool
+	onComplete func(*serving.Sequence)
+
+	emitTimes []sim.Time
+	emitCum   []int64 // cumulative emitted tokens at emitTimes[i]
+}
+
+// NewEngineSim builds a kernel-driven engine instance.
+func NewEngineSim(k *sim.Kernel, cfg serving.Config, onComplete func(*serving.Sequence)) (*EngineSim, error) {
+	eng, err := serving.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineSim{k: k, eng: eng, onComplete: onComplete}, nil
+}
+
+// MustEngineSim panics on config errors (experiment setup with static
+// catalog entries).
+func MustEngineSim(k *sim.Kernel, model perfmodel.ModelSpec, gpu perfmodel.GPUSpec, maxBatch int, onComplete func(*serving.Sequence)) *EngineSim {
+	e, err := NewEngineSim(k, serving.Config{Model: model, GPU: gpu, MaxBatch: maxBatch}, onComplete)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Submit enqueues a sequence and kicks the iteration loop if idle.
+func (e *EngineSim) Submit(promptTok, outputTok int, ctx interface{}) {
+	e.eng.Submit(e.k.Now(), promptTok, outputTok, ctx)
+	if !e.running {
+		e.running = true
+		e.k.Schedule(0, e.step)
+	}
+}
+
+// Depth reports waiting+running load for least-loaded routing.
+func (e *EngineSim) Depth() int { return e.eng.Depth() }
+
+// Stats exposes the wrapped engine's counters.
+func (e *EngineSim) Stats() serving.Stats { return e.eng.Stats() }
+
+func (e *EngineSim) step() {
+	res := e.eng.Step(e.k.Now())
+	if !res.Busy {
+		e.running = false
+		return
+	}
+	e.k.Schedule(res.Duration, func() {
+		e.recordEmission(int64(res.EmittedTokens))
+		for _, seq := range res.Completed {
+			e.onComplete(seq)
+		}
+		e.step()
+	})
+}
+
+func (e *EngineSim) recordEmission(n int64) {
+	var cum int64
+	if len(e.emitCum) > 0 {
+		cum = e.emitCum[len(e.emitCum)-1]
+	}
+	e.emitTimes = append(e.emitTimes, e.k.Now())
+	e.emitCum = append(e.emitCum, cum+n)
+}
+
+// EmittedBy returns cumulative output tokens generated up to time t —
+// the streaming view of throughput (a WebUI session sees tokens as they
+// stream, not at request completion).
+func (e *EngineSim) EmittedBy(t sim.Time) int64 {
+	// Binary search over the emission log.
+	lo, hi := 0, len(e.emitTimes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.emitTimes[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return e.emitCum[lo-1]
+}

@@ -1,0 +1,133 @@
+// Package experiments contains one runner per table/figure in the paper's
+// evaluation (§5) plus the optimization ablations, each returning structured
+// paper-vs-measured results. bench_test.go and cmd/first-bench are thin
+// wrappers over these runners.
+package experiments
+
+import (
+	"time"
+
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// DefaultSeed keeps every experiment deterministic.
+const DefaultSeed = 20251015 // paper's arXiv date
+
+// arriver is any DES system accepting client requests.
+type arriver interface {
+	Arrive(*desmodel.Req)
+}
+
+// driveOpenLoop schedules a trace's arrivals onto a system (the vLLM
+// benchmark script's open-loop mode: fixed request rate, or everything at
+// t=0 for the "infinite" rate).
+func driveOpenLoop(k *sim.Kernel, trace []workload.Request, sys arriver) []*desmodel.Req {
+	reqs := make([]*desmodel.Req, len(trace))
+	for i := range trace {
+		t := trace[i]
+		r := &desmodel.Req{ID: t.ID, PromptTok: t.PromptTok, OutputTok: t.OutputTok}
+		reqs[i] = r
+		k.Schedule(t.ArrivalAt, func() { sys.Arrive(r) })
+	}
+	return reqs
+}
+
+// driveClosedLoop runs `sessions` concurrent closed-loop clients: each
+// session issues a request, waits for completion (plus thinkTime), and
+// immediately issues the next, up to total requests (0 = unbounded; the
+// kernel's Run(until) bounds the experiment). The done callback the system
+// must invoke is returned for wiring before construction; use it like:
+//
+//	loop := newClosedLoop(k, spec, seed, sessions, thinkTime)
+//	sys := desmodel.NewFirstSystem(k, p, model, gpu, n, loop.onDone)
+//	loop.start(sys)
+type closedLoop struct {
+	k         *sim.Kernel
+	spec      workload.LengthSpec
+	rng       *sim.RNG
+	sessions  int
+	thinkTime time.Duration
+	sys       arriver
+	issued    int
+	finished  []*desmodel.Req
+
+	// Chat-session mode (Table 1): WebUI resends the full conversation on
+	// every turn, so a session's prompt grows by the previous turn's
+	// prompt+response. History is capped at the serving context window.
+	chatHistory bool
+	historyCap  int
+	history     []int
+	sessionOf   map[*desmodel.Req]int
+}
+
+func newClosedLoop(k *sim.Kernel, spec workload.LengthSpec, seed int64, sessions int, thinkTime time.Duration) *closedLoop {
+	return &closedLoop{
+		k: k, spec: spec, rng: sim.NewRNG(seed),
+		sessions: sessions, thinkTime: thinkTime,
+		history:   make([]int, sessions),
+		sessionOf: make(map[*desmodel.Req]int),
+	}
+}
+
+// enableChatHistory switches the loop into stateful WebUI-session mode.
+func (c *closedLoop) enableChatHistory(contextCap int) {
+	c.chatHistory = true
+	c.historyCap = contextCap
+}
+
+func (c *closedLoop) start(sys arriver) {
+	c.sys = sys
+	for i := 0; i < c.sessions; i++ {
+		c.issue(i)
+	}
+}
+
+func (c *closedLoop) issue(session int) {
+	p, o := c.spec.SampleLengths(c.rng)
+	if c.chatHistory {
+		p += c.history[session]
+		if c.historyCap > 0 && p > c.historyCap {
+			p = c.historyCap
+		}
+	}
+	c.issued++
+	r := &desmodel.Req{ID: c.issued, PromptTok: p, OutputTok: o}
+	c.sessionOf[r] = session
+	c.sys.Arrive(r)
+}
+
+// onDone records the completion and keeps the session busy.
+func (c *closedLoop) onDone(r *desmodel.Req) {
+	c.finished = append(c.finished, r)
+	session := c.sessionOf[r]
+	delete(c.sessionOf, r)
+	if c.chatHistory {
+		// Next turn carries this turn's prompt and response as context.
+		h := r.PromptTok + r.OutputTok
+		if c.historyCap > 0 && h > c.historyCap {
+			h = c.historyCap
+		}
+		c.history[session] = h
+	}
+	if c.thinkTime > 0 {
+		c.k.Schedule(c.thinkTime, func() { c.issue(session) })
+	} else {
+		c.issue(session)
+	}
+}
+
+// completedWithin filters completions observed inside the window and
+// returns (requests, output tokens).
+func (c *closedLoop) completedWithin(window time.Duration) (int, int64) {
+	var n int
+	var tok int64
+	for _, r := range c.finished {
+		if r.ObservedAt <= window {
+			n++
+			tok += int64(r.OutputTok)
+		}
+	}
+	return n, tok
+}

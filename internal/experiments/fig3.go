@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// Fig3Row is one (request rate, system) cell of Figure 3: Llama-3.3-70B on
+// a single Sophia node (TP=8), 1000 ShareGPT requests, FIRST vs vLLM
+// Direct at offered rates 1/5/10/20/∞ req/s.
+type Fig3Row struct {
+	Rate   string // "1", "5", "10", "20", "inf"
+	System string // "FIRST" or "vLLM-Direct"
+	M      desmodel.Metrics
+
+	// Paper values where the text reports them (0 = not stated).
+	PaperReqPS   float64
+	PaperTokPS   float64
+	PaperMedianS float64
+}
+
+// Fig3Requests is the paper's benchmark size.
+const Fig3Requests = 1000
+
+// RunFig3 regenerates Figure 3.
+func RunFig3(seed int64) []Fig3Row {
+	rates := []struct {
+		label string
+		rate  float64
+	}{
+		{"1", 1}, {"5", 5}, {"10", 10}, {"20", 20}, {"inf", 0},
+	}
+	paper := map[string]Fig3Row{
+		// §5.3.1 quotes these points explicitly.
+		"1/FIRST":         {PaperMedianS: 9.2},
+		"1/vLLM-Direct":   {PaperMedianS: 3.0},
+		"20/FIRST":        {PaperReqPS: 9.2, PaperTokPS: 1677},
+		"20/vLLM-Direct":  {PaperReqPS: 5.8, PaperTokPS: 1054},
+		"inf/FIRST":       {PaperReqPS: 9.2, PaperTokPS: 1677, PaperMedianS: 46.9},
+		"inf/vLLM-Direct": {PaperReqPS: 5.8, PaperTokPS: 1054, PaperMedianS: 80.2},
+	}
+
+	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
+	gpu := perfmodel.A100_40
+	var rows []Fig3Row
+	for _, rc := range rates {
+		arrival := workload.Infinite()
+		if rc.rate > 0 {
+			arrival = workload.Poisson(rc.rate)
+		}
+		trace := workload.Generate(Fig3Requests, workload.ShareGPT(), arrival, seed)
+
+		// FIRST path.
+		{
+			k := sim.NewKernel()
+			sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, 1, nil)
+			reqs := driveOpenLoop(k, trace, sys)
+			k.Run(0)
+			row := Fig3Row{Rate: rc.label, System: "FIRST", M: desmodel.Collect(reqs)}
+			if p, ok := paper[rc.label+"/FIRST"]; ok {
+				row.PaperReqPS, row.PaperTokPS, row.PaperMedianS = p.PaperReqPS, p.PaperTokPS, p.PaperMedianS
+			}
+			rows = append(rows, row)
+		}
+		// vLLM Direct path.
+		{
+			k := sim.NewKernel()
+			sys := desmodel.NewDirectSystem(k, desmodel.DefaultDirectParams(), model, gpu, nil)
+			reqs := driveOpenLoop(k, trace, sys)
+			k.Run(0)
+			row := Fig3Row{Rate: rc.label, System: "vLLM-Direct", M: desmodel.Collect(reqs)}
+			if p, ok := paper[rc.label+"/vLLM-Direct"]; ok {
+				row.PaperReqPS, row.PaperTokPS, row.PaperMedianS = p.PaperReqPS, p.PaperTokPS, p.PaperMedianS
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

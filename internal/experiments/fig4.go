@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// Fig4Row is one auto-scaling configuration of Figure 4: Llama-3.3-70B
+// under maximum (infinite-rate) load on 1..4 instances.
+type Fig4Row struct {
+	Instances int
+	M         desmodel.Metrics
+	// Scaling ratio of token throughput vs 1 instance.
+	TokScale float64
+
+	PaperReqPS   float64
+	PaperTokPS   float64
+	PaperMedianS float64
+	PaperScale   float64
+}
+
+// Fig4Requests sizes the run; larger than Fig. 3 so four instances stay
+// saturated long enough to measure steady state.
+const Fig4Requests = 2000
+
+// RunFig4 regenerates Figure 4.
+func RunFig4(seed int64) []Fig4Row {
+	paper := map[int]Fig4Row{
+		1: {PaperReqPS: 8.3, PaperTokPS: 1432, PaperMedianS: 54.5, PaperScale: 1.0},
+		2: {PaperReqPS: 14.6, PaperMedianS: 30.1, PaperScale: 1.75},
+		3: {PaperReqPS: 20.9, PaperMedianS: 18.8, PaperScale: 2.52},
+		4: {PaperReqPS: 23.9, PaperTokPS: 4131, PaperMedianS: 16.0, PaperScale: 2.88},
+	}
+	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
+	gpu := perfmodel.A100_40
+	trace := workload.Generate(Fig4Requests, workload.ShareGPT(), workload.Infinite(), seed)
+
+	var rows []Fig4Row
+	var base float64
+	for n := 1; n <= 4; n++ {
+		k := sim.NewKernel()
+		sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, n, nil)
+		reqs := driveOpenLoop(k, trace, sys)
+		k.Run(0)
+		row := Fig4Row{Instances: n, M: desmodel.Collect(reqs)}
+		if n == 1 {
+			base = row.M.TokPerSec
+		}
+		if base > 0 {
+			row.TokScale = row.M.TokPerSec / base
+		}
+		p := paper[n]
+		row.PaperReqPS, row.PaperTokPS, row.PaperMedianS, row.PaperScale =
+			p.PaperReqPS, p.PaperTokPS, p.PaperMedianS, p.PaperScale
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/serving"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// Fig5Row is one system of Figure 5: FIRST serving Llama-3.1-8B (TP=4)
+// versus the OpenAI API serving GPT-4o-mini.
+type Fig5Row struct {
+	System string
+	M      desmodel.Metrics
+
+	PaperReqPS   float64
+	PaperTokPS   float64
+	PaperMedianS float64
+}
+
+// Fig5Requests is the benchmark size.
+const Fig5Requests = 1000
+
+// RunFig5 regenerates Figure 5. The FIRST side is the open-loop infinite
+// burst; the OpenAI side runs closed-loop at the concurrency the provider's
+// rate limits allow (the paper notes its OpenAI numbers are rate-limited).
+func RunFig5(seed int64) []Fig5Row {
+	gpu := perfmodel.A100_40
+	model8b := perfmodel.Default.MustLookup(perfmodel.Llama8B)
+	trace := workload.Generate(Fig5Requests, workload.ShareGPTShort(), workload.Infinite(), seed)
+
+	var rows []Fig5Row
+	// FIRST / Llama-3.1-8B.
+	{
+		k := sim.NewKernel()
+		sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model8b, gpu, 1, nil)
+		reqs := driveOpenLoop(k, trace, sys)
+		k.Run(0)
+		rows = append(rows, Fig5Row{
+			System:       "FIRST (Llama-3.1-8B)",
+			M:            desmodel.Collect(reqs),
+			PaperReqPS:   25.1,
+			PaperTokPS:   3283,
+			PaperMedianS: 16.3,
+		})
+	}
+	// OpenAI API / GPT-4o-mini.
+	{
+		k := sim.NewKernel()
+		ext := serving.DefaultOpenAI()
+		loop := newClosedLoop(k, workload.ShareGPTShort(), seed, ext.MaxConcurrent, 0)
+		var sys *desmodel.ExtAPISystem
+		sys = desmodel.NewExtAPISystem(k, ext, func(r *desmodel.Req) {
+			loop.onDone(r)
+			if len(loop.finished) >= Fig5Requests {
+				k.Stop()
+			}
+		})
+		loop.start(sys)
+		k.Run(0)
+		loop.finished = loop.finished[:min(len(loop.finished), Fig5Requests)]
+		rows = append(rows, Fig5Row{
+			System:       "OpenAI API (GPT-4o-mini)",
+			M:            desmodel.Collect(loop.finished),
+			PaperReqPS:   6.7,
+			PaperTokPS:   1199,
+			PaperMedianS: 2.0,
+		})
+	}
+	return rows
+}

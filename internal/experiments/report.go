@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report renders every experiment to w in the paper's row/series layout
+// with paper-vs-measured columns; cmd/first-bench drives it.
+func Report(w io.Writer, which string, seed int64) error {
+	all := which == "" || which == "all"
+	ran := false
+	if all || which == "fig3" {
+		ReportFig3(w, RunFig3(seed))
+		ran = true
+	}
+	if all || which == "fig4" {
+		ReportFig4(w, RunFig4(seed))
+		ran = true
+	}
+	if all || which == "fig5" {
+		ReportFig5(w, RunFig5(seed))
+		ran = true
+	}
+	if all || which == "table1" {
+		ReportTable1(w, RunTable1(seed))
+		ran = true
+	}
+	if all || which == "batch" {
+		ReportBatch(w, RunBatch(seed), RunBatchAmortization(seed))
+		ran = true
+	}
+	if all || which == "opt1" {
+		ReportAblation(w, "Optimization 1: result polling vs futures", RunOpt1Polling(seed), false)
+		ran = true
+	}
+	if all || which == "opt2" {
+		ReportAblation(w, "Optimization 2: per-request introspection vs token cache", RunOpt2AuthCache(seed), false)
+		ran = true
+	}
+	if all || which == "opt3" {
+		ReportAblation(w, "Optimization 3: sync (9 workers) vs async gateway — Artillery 100 req/s × 300 s", RunOpt3AsyncGateway(seed), true)
+		ran = true
+	}
+	if all || which == "routing" {
+		ReportRouting(w, RunAblationRouting(seed))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|all)", which)
+	}
+	return nil
+}
+
+// ReportRouting prints the routing-policy ablation.
+func ReportRouting(w io.Writer, rows []RoutingRow) {
+	fmt.Fprintln(w, "== Design ablation: instance routing policy (4×70B, heavy-tailed load) ==")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s req/s=%6.2f tok/s=%7.0f med-lat=%6.2fs p99=%7.2fs\n",
+			r.Policy, r.M.ReqPerSec, r.M.TokPerSec, r.M.MedianLatS, r.M.P99LatS)
+	}
+	fmt.Fprintln(w)
+}
+
+func pv(measured, paper float64) string {
+	if paper == 0 {
+		return fmt.Sprintf("%8.1f        —", measured)
+	}
+	return fmt.Sprintf("%8.1f %8.1f", measured, paper)
+}
+
+// ReportFig3 prints Figure 3's four panels as a table.
+func ReportFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "== Figure 3: FIRST vs vLLM-Direct, Llama-3.3-70B, 1000 reqs, rate sweep ==")
+	fmt.Fprintln(w, "rate  system        req/s  (paper)    tok/s  (paper)   med-lat(s) (paper)  duration(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-12s %s  %s  %s  %10.1f\n",
+			r.Rate, r.System,
+			pv(r.M.ReqPerSec, r.PaperReqPS),
+			pv(r.M.TokPerSec, r.PaperTokPS),
+			pv(r.M.MedianLatS, r.PaperMedianS),
+			r.M.DurationS)
+	}
+	fmt.Fprintln(w)
+}
+
+// ReportFig4 prints the auto-scaling figure.
+func ReportFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "== Figure 4: auto-scaling, Llama-3.3-70B, infinite rate, 1..4 instances ==")
+	fmt.Fprintln(w, "inst  req/s  (paper)    tok/s  (paper)   scale (paper)   med-lat(s) (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d %s  %s  %5.2f  %5.2f  %s\n",
+			r.Instances,
+			pv(r.M.ReqPerSec, r.PaperReqPS),
+			pv(r.M.TokPerSec, r.PaperTokPS),
+			r.TokScale, r.PaperScale,
+			pv(r.M.MedianLatS, r.PaperMedianS))
+	}
+	fmt.Fprintln(w)
+}
+
+// ReportFig5 prints the OpenAI comparison.
+func ReportFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "== Figure 5: FIRST (Llama-3.1-8B) vs OpenAI API (GPT-4o-mini) ==")
+	fmt.Fprintln(w, "system                      req/s  (paper)    tok/s  (paper)   med-lat(s) (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %s  %s  %s\n",
+			r.System,
+			pv(r.M.ReqPerSec, r.PaperReqPS),
+			pv(r.M.TokPerSec, r.PaperTokPS),
+			pv(r.M.MedianLatS, r.PaperMedianS))
+	}
+	fmt.Fprintln(w)
+}
+
+// ReportTable1 prints the WebUI concurrency table in the paper's layout.
+func ReportTable1(w io.Writer, cells []Table1Cell) {
+	fmt.Fprintln(w, "== Table 1: WebUI benchmark per model (TP=tok/s, Req=req/s; paper in parens) ==")
+	fmt.Fprintln(w, "model           conc   60s TP/s (paper)   60s Req/s (paper)  120s TP/s (paper)  120s Req/s (paper)")
+	type key struct {
+		model string
+		conc  int
+	}
+	byKey := make(map[key]map[int]Table1Cell)
+	var order []key
+	for _, c := range cells {
+		k := key{c.Model, c.Concurrency}
+		if byKey[k] == nil {
+			byKey[k] = make(map[int]Table1Cell)
+			order = append(order, k)
+		}
+		byKey[k][c.WindowS] = c
+	}
+	for _, k := range order {
+		c60, c120 := byKey[k][60], byKey[k][120]
+		fmt.Fprintf(w, "%-15s %4d  %8.1f (%7.1f)  %8.2f (%6.2f)  %8.1f (%7.1f)  %8.2f (%6.2f)\n",
+			k.model, k.conc,
+			c60.TokPS, c60.PaperTokPS, c60.ReqPS, c60.PaperReqPS,
+			c120.TokPS, c120.PaperTokPS, c120.ReqPS, c120.PaperReqPS)
+	}
+	fmt.Fprintln(w)
+}
+
+// ReportBatch prints the batch-mode result and the amortization sweep.
+func ReportBatch(w io.Writer, b BatchResult, amort []AmortizationPoint) {
+	fmt.Fprintln(w, "== §5.3.1 Batch mode: Llama-3.3-70B, 1000 long-form requests, dedicated job ==")
+	fmt.Fprintf(w, "requests=%d output_tokens=%d load=%.0fs total=%.0fs (paper 409s)\n",
+		b.Requests, b.OutputTokens, b.LoadTimeS, b.TotalTimeS)
+	fmt.Fprintf(w, "overall throughput %.0f tok/s (paper %.0f), generation-only %.0f tok/s\n",
+		b.OverallTokPS, b.PaperTokPS, b.GenerateTokPS)
+	fmt.Fprintln(w, "cold-start amortization:")
+	for _, p := range amort {
+		fmt.Fprintf(w, "  n=%-6d overall=%7.0f tok/s  load-share=%4.1f%%\n", p.Requests, p.OverallTokPS, p.LoadShare*100)
+	}
+	fmt.Fprintln(w)
+}
+
+// ReportAblation prints a before/after optimization comparison.
+func ReportAblation(w io.Writer, title string, rows []AblationRow, hubQueue bool) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-42s req/s=%6.2f tok/s=%7.0f med-lat=%6.2fs p99=%7.2fs completed=%d",
+			r.Config, r.M.ReqPerSec, r.M.TokPerSec, r.M.MedianLatS, r.M.P99LatS, r.M.Completed)
+		if hubQueue {
+			fmt.Fprintf(w, " queued-at-fabric=%d", r.HubQueuePeak)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

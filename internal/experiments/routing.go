@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// RoutingRow compares dispatch policies in the Fig. 4 configuration —
+// an ablation of the least-loaded routing design choice (DESIGN.md).
+type RoutingRow struct {
+	Policy string
+	M      desmodel.Metrics
+}
+
+// RunAblationRouting reruns the 4-instance Fig. 4 scenario under each
+// routing policy. Under homogeneous load the policies converge; the
+// interesting separation appears with heavy-tailed outputs, where random
+// and round-robin strand short requests behind long ones — so the ablation
+// uses the heavy-tailed WebUI marginals.
+func RunAblationRouting(seed int64) []RoutingRow {
+	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
+	spec := workload.WebUI()
+	trace := workload.Generate(2000, spec, workload.Infinite(), seed)
+
+	policies := []desmodel.RoutingPolicy{
+		desmodel.RouteLeastLoaded,
+		desmodel.RouteRoundRobin,
+		desmodel.RouteRandom,
+	}
+	var rows []RoutingRow
+	for _, pol := range policies {
+		k := sim.NewKernel()
+		p := desmodel.DefaultFirstParams()
+		p.Routing = pol
+		// Moderate concurrency: at full saturation every policy keeps all
+		// engines busy; imbalance costs show when the window is near the
+		// fleet's batch capacity.
+		p.Window = 160
+		sys := desmodel.NewFirstSystem(k, p, model, perfmodel.A100_40, 4, nil)
+		reqs := driveOpenLoop(k, trace, sys)
+		k.Run(0)
+		rows = append(rows, RoutingRow{Policy: pol.String(), M: desmodel.Collect(reqs)})
+	}
+	return rows
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// Table1Cell is one (model, concurrency, run-length) measurement of the
+// WebUI concurrency benchmark (Table 1): closed-loop simulated chat
+// sessions, throughput measured over the run window.
+type Table1Cell struct {
+	Model       string
+	Concurrency int
+	WindowS     int
+	TokPS       float64
+	ReqPS       float64
+
+	PaperTokPS float64
+	PaperReqPS float64
+}
+
+// Table1Concurrencies are the paper's session counts.
+var Table1Concurrencies = []int{50, 100, 300, 500, 700}
+
+// Table1Windows are the paper's run lengths in seconds.
+var Table1Windows = []int{60, 120}
+
+// table1Models maps the paper's three models to deployment instance counts
+// (the WebUI deployment auto-scales the 70B model to a second instance at
+// high session counts; smaller models stay single-instance).
+var table1Models = []struct {
+	name      string
+	display   string
+	instances func(conc int) int
+}{
+	{perfmodel.Llama8B, "Llama-3.1-8B", func(int) int { return 1 }},
+	{perfmodel.Gemma27B, "Gemma-27B", func(int) int { return 1 }},
+	{perfmodel.Llama70B, "Llama-3.3-70B", func(c int) int {
+		if c >= 500 {
+			return 2
+		}
+		return 1
+	}},
+}
+
+// paperTable1[model][conc][window] = (tok/s, req/s) from Table 1.
+var paperTable1 = map[string]map[int]map[int][2]float64{
+	"Llama-3.1-8B": {
+		50:  {60: {690.68, 4.97}, 120: {441.17, 3.12}},
+		100: {60: {738.33, 5.25}, 120: {563.18, 4.01}},
+		300: {60: {1103.70, 7.90}, 120: {981.45, 6.81}},
+		500: {60: {1672.15, 12.08}, 120: {1271.04, 8.94}},
+		700: {60: {2119.50, 14.68}, 120: {1385.93, 9.74}},
+	},
+	"Gemma-27B": {
+		50:  {60: {297.97, 2.70}, 120: {864.83, 5.13}},
+		100: {60: {906.62, 5.42}, 120: {865.05, 5.10}},
+		300: {60: {1469.53, 8.67}, 120: {1211.75, 7.25}},
+		500: {60: {1849.67, 10.95}, 120: {1144.79, 6.83}},
+		700: {60: {2651.40, 15.57}, 120: {1353.15, 8.17}},
+	},
+	"Llama-3.3-70B": {
+		50:  {60: {217.38, 1.63}, 120: {472.05, 3.57}},
+		100: {60: {785.83, 5.88}, 120: {503.52, 3.86}},
+		300: {60: {1061.93, 7.92}, 120: {948.13, 7.13}},
+		500: {60: {1646.53, 12.30}, 120: {1176.39, 8.75}},
+		700: {60: {2134.10, 15.67}, 120: {1372.27, 10.35}},
+	},
+}
+
+// RunTable1 regenerates Table 1.
+func RunTable1(seed int64) []Table1Cell {
+	var cells []Table1Cell
+	gpu := perfmodel.A100_40
+	for _, mc := range table1Models {
+		model := perfmodel.Default.MustLookup(mc.name)
+		for _, conc := range Table1Concurrencies {
+			for _, windowS := range Table1Windows {
+				window := time.Duration(windowS) * time.Second
+				k := sim.NewKernel()
+				loop := newClosedLoop(k, workload.WebUI(), seed+int64(conc)+int64(windowS), conc, 0)
+				loop.enableChatHistory(8192)
+				// The WebUI backend (FastAPI/Uvicorn) holds its own worker
+				// pool, not the gateway's Gunicorn window; session count is
+				// the concurrency control here.
+				params := desmodel.DefaultFirstParams()
+				params.Window = 0
+				sys := desmodel.NewFirstSystem(k, params, model, gpu, mc.instances(conc), loop.onDone)
+				loop.start(sys)
+				k.Run(window)
+				n, _ := loop.completedWithin(window)
+				cell := Table1Cell{
+					Model:       mc.display,
+					Concurrency: conc,
+					WindowS:     windowS,
+					// Sessions stream, so token throughput counts tokens
+					// as generated within the window.
+					TokPS: float64(sys.EmittedTokensBy(window)) / window.Seconds(),
+					ReqPS: float64(n) / window.Seconds(),
+				}
+				if p, ok := paperTable1[mc.display][conc][windowS]; ok {
+					cell.PaperTokPS, cell.PaperReqPS = p[0], p[1]
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells
+}

@@ -1,0 +1,236 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/metrics"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/scheduler"
+)
+
+// Handler executes one pre-registered function invocation on an endpoint.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
+
+// EndpointConfig configures a Globus-Compute-style endpoint deployed on one
+// cluster by facility administrators.
+type EndpointConfig struct {
+	ID        string
+	Scheduler *scheduler.Scheduler
+	Catalog   *perfmodel.Catalog
+	// PickupLatency models the endpoint's task-fetch cadence from the hub
+	// (workers poll the cloud queue). Default 500 ms.
+	PickupLatency time.Duration
+}
+
+// Endpoint executes functions on an HPC cluster. Inference and embedding
+// handlers are provided by Deployments; arbitrary additional functions can
+// be pre-registered by administrators.
+type Endpoint struct {
+	cfg EndpointConfig
+	clk clock.Clock
+	met *metrics.Registry
+
+	mu          sync.Mutex
+	handlers    map[string]Handler
+	deployments map[string]*Deployment // model name -> deployment
+	closed      bool
+}
+
+// NewEndpoint creates an endpoint bound to a cluster's scheduler.
+func NewEndpoint(cfg EndpointConfig, clk clock.Clock, met *metrics.Registry) (*Endpoint, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fabric: endpoint needs an ID")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("fabric: endpoint %s needs a scheduler", cfg.ID)
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = perfmodel.Default
+	}
+	if cfg.PickupLatency == 0 {
+		cfg.PickupLatency = 500 * time.Millisecond
+	}
+	if met == nil {
+		met = metrics.NewRegistry()
+	}
+	ep := &Endpoint{
+		cfg:         cfg,
+		clk:         clk,
+		met:         met,
+		handlers:    make(map[string]Handler),
+		deployments: make(map[string]*Deployment),
+	}
+	ep.handlers[FnInfer] = ep.handleInfer
+	ep.handlers[FnEmbed] = ep.handleEmbed
+	return ep, nil
+}
+
+// ID returns the endpoint identifier.
+func (ep *Endpoint) ID() string { return ep.cfg.ID }
+
+// ClusterName returns the backing cluster's name.
+func (ep *Endpoint) ClusterName() string { return ep.cfg.Scheduler.Cluster().Name() }
+
+// Scheduler exposes the endpoint's scheduler (for /jobs and federation).
+func (ep *Endpoint) Scheduler() *scheduler.Scheduler { return ep.cfg.Scheduler }
+
+// RegisterFunction pre-registers an administrator function.
+func (ep *Endpoint) RegisterFunction(name string, h Handler) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handlers[name] = h
+}
+
+func (ep *Endpoint) hasFunction(name string) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	_, ok := ep.handlers[name]
+	return ok
+}
+
+// Deploy creates (or returns the existing) deployment for a model on this
+// endpoint.
+func (ep *Endpoint) Deploy(cfg DeploymentConfig) (*Deployment, error) {
+	ep.mu.Lock()
+	if d, ok := ep.deployments[cfg.Model]; ok {
+		ep.mu.Unlock()
+		return d, nil
+	}
+	ep.mu.Unlock()
+
+	spec, err := ep.cfg.Catalog.Lookup(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDeployment(ep, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		d.Close()
+		return nil, ErrEndpointShutdown
+	}
+	ep.deployments[cfg.Model] = d
+	return d, nil
+}
+
+// Deployment returns the deployment for a model, if any.
+func (ep *Endpoint) Deployment(model string) (*Deployment, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	d, ok := ep.deployments[model]
+	return d, ok
+}
+
+// Models lists deployed model names.
+func (ep *Endpoint) Models() []string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	names := make([]string, 0, len(ep.deployments))
+	for m := range ep.deployments {
+		names = append(names, m)
+	}
+	return names
+}
+
+// ModelStatuses reports per-model instance states for the /jobs endpoint.
+func (ep *Endpoint) ModelStatuses() []ModelStatus {
+	ep.mu.Lock()
+	deployments := make([]*Deployment, 0, len(ep.deployments))
+	for _, d := range ep.deployments {
+		deployments = append(deployments, d)
+	}
+	ep.mu.Unlock()
+	statuses := make([]ModelStatus, 0, len(deployments))
+	for _, d := range deployments {
+		statuses = append(statuses, d.Status())
+	}
+	return statuses
+}
+
+// execute runs a task (called from the hub's dispatch lane on a fresh
+// goroutine) and reports the result through done.
+func (ep *Endpoint) execute(task *Task, done func([]byte, error)) {
+	ep.mu.Lock()
+	h, ok := ep.handlers[task.Function]
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		done(nil, ErrEndpointShutdown)
+		return
+	}
+	if !ok {
+		done(nil, fmt.Errorf("%w: %s", ErrUnknownFunction, task.Function))
+		return
+	}
+	if ep.cfg.PickupLatency > 0 {
+		ep.clk.Sleep(ep.cfg.PickupLatency)
+	}
+	task.setStatus(TaskRunning)
+	ep.met.Counter("endpoint_tasks").Inc()
+	result, err := h(context.Background(), task.Payload)
+	if err != nil {
+		ep.met.Counter("endpoint_task_failures").Inc()
+	}
+	done(result, err)
+}
+
+func (ep *Endpoint) handleInfer(ctx context.Context, payload []byte) ([]byte, error) {
+	var req InferRequest
+	if err := UnmarshalPayload(payload, &req); err != nil {
+		return nil, err
+	}
+	ep.mu.Lock()
+	d, ok := ep.deployments[req.Model]
+	ep.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: endpoint %s does not host %s", ep.cfg.ID, req.Model)
+	}
+	res, err := d.Generate(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return MarshalPayload(res), nil
+}
+
+func (ep *Endpoint) handleEmbed(ctx context.Context, payload []byte) ([]byte, error) {
+	var req EmbedRequest
+	if err := UnmarshalPayload(payload, &req); err != nil {
+		return nil, err
+	}
+	ep.mu.Lock()
+	d, ok := ep.deployments[req.Model]
+	ep.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: endpoint %s does not host %s", ep.cfg.ID, req.Model)
+	}
+	vectors, err := d.Embed(ctx, req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	return MarshalPayload(EmbedResult{Model: req.Model, Dim: d.spec.EmbedDim, Vectors: vectors}), nil
+}
+
+// Close shuts down all deployments.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	deployments := make([]*Deployment, 0, len(ep.deployments))
+	for _, d := range ep.deployments {
+		deployments = append(deployments, d)
+	}
+	ep.mu.Unlock()
+	for _, d := range deployments {
+		d.Close()
+	}
+}

@@ -1,0 +1,154 @@
+// Package federation implements the §4.5 federation layer: a cluster-
+// agnostic routing decision that picks which endpoint should serve a
+// request. The core logic is the paper's priority-based algorithm:
+//
+//  1. prefer an endpoint where the requested model is already running or
+//     queued (low latency on active instances);
+//  2. otherwise an endpoint whose cluster has enough free resources;
+//  3. otherwise the first endpoint configured for the model, priority
+//     being configuration registry order.
+//
+// The decision is a pure function over endpoint snapshots so the live
+// gateway and the DES harness share it exactly.
+package federation
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+// EndpointInfo is a snapshot of one candidate endpoint for a model.
+type EndpointInfo struct {
+	ID string
+	// ModelState is the deployment state: "running", "starting",
+	// "queued", or "cold".
+	ModelState string
+	// FreeGPUs is the cluster's publicly reported free GPU count.
+	FreeGPUs int
+	// NeededGPUs is the model's per-instance requirement on that cluster.
+	NeededGPUs int
+	// Depth is the current total queue depth for tie-breaking among
+	// active endpoints.
+	Depth int
+}
+
+// Reason explains a routing decision (logged and exposed on the dashboard).
+type Reason string
+
+// Routing reasons.
+const (
+	ReasonActive    Reason = "model-active"
+	ReasonCapacity  Reason = "cluster-has-capacity"
+	ReasonFirstConf Reason = "first-configured"
+)
+
+// Select applies the priority algorithm over candidates in configuration
+// order. It returns the chosen endpoint's index and the reason.
+func Select(candidates []EndpointInfo) (int, Reason, error) {
+	if len(candidates) == 0 {
+		return -1, "", fmt.Errorf("federation: no endpoints configured")
+	}
+	// 1) Running or queued instance — among those, least depth wins.
+	best := -1
+	for i, c := range candidates {
+		switch c.ModelState {
+		case "running", "starting", "queued":
+			if best == -1 || c.Depth < candidates[best].Depth {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best, ReasonActive, nil
+	}
+	// 2) Cluster with available nodes.
+	for i, c := range candidates {
+		if c.FreeGPUs >= c.NeededGPUs && c.NeededGPUs > 0 {
+			return i, ReasonCapacity, nil
+		}
+	}
+	// 3) First configured.
+	return 0, ReasonFirstConf, nil
+}
+
+// Router binds the pure policy to live fabric endpoints. It is the
+// "development API URL that does not target any specific cluster" (§4.5).
+type Router struct {
+	catalog *perfmodel.Catalog
+
+	mu sync.RWMutex
+	// order[model] lists endpoints in configuration-registry order.
+	order map[string][]*fabric.Endpoint
+}
+
+// NewRouter returns an empty router.
+func NewRouter(catalog *perfmodel.Catalog) *Router {
+	if catalog == nil {
+		catalog = perfmodel.Default
+	}
+	return &Router{catalog: catalog, order: make(map[string][]*fabric.Endpoint)}
+}
+
+// AddRoute appends an endpoint to a model's candidate list (registry order
+// defines priority 3's "first configured").
+func (r *Router) AddRoute(model string, ep *fabric.Endpoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.order[model] = append(r.order[model], ep)
+}
+
+// Models lists models with at least one route.
+func (r *Router) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.order))
+	for m := range r.order {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Endpoints returns the candidate endpoints for a model in priority order.
+func (r *Router) Endpoints(model string) []*fabric.Endpoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*fabric.Endpoint(nil), r.order[model]...)
+}
+
+// Decision is the outcome of a routing query.
+type Decision struct {
+	Endpoint *fabric.Endpoint
+	Reason   Reason
+}
+
+// Route picks the endpoint for a model request by snapshotting each
+// candidate's deployment state and cluster status.
+func (r *Router) Route(model string) (Decision, error) {
+	eps := r.Endpoints(model)
+	if len(eps) == 0 {
+		return Decision{}, fmt.Errorf("federation: model %q has no configured endpoints", model)
+	}
+	spec, err := r.catalog.Lookup(model)
+	if err != nil {
+		return Decision{}, err
+	}
+	infos := make([]EndpointInfo, len(eps))
+	for i, ep := range eps {
+		info := EndpointInfo{ID: ep.ID(), ModelState: "cold", NeededGPUs: spec.TensorParallel}
+		if d, ok := ep.Deployment(model); ok {
+			st := d.Status()
+			info.ModelState = st.State
+			info.Depth = d.Depth()
+		}
+		info.FreeGPUs = ep.Scheduler().Cluster().Status().FreeGPUs
+		infos[i] = info
+	}
+	idx, reason, err := Select(infos)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Endpoint: eps[idx], Reason: reason}, nil
+}

@@ -1,0 +1,168 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/cluster"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/metrics"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/scheduler"
+)
+
+func TestSelectPriorityRules(t *testing.T) {
+	cases := []struct {
+		name       string
+		candidates []EndpointInfo
+		wantIdx    int
+		wantReason Reason
+	}{
+		{
+			name: "active instance beats capacity",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 100, NeededGPUs: 8},
+				{ID: "b", ModelState: "running", FreeGPUs: 0, NeededGPUs: 8},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "queued counts as active (paper: running or queued)",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 100, NeededGPUs: 8},
+				{ID: "b", ModelState: "queued", FreeGPUs: 0, NeededGPUs: 8},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "least depth among active endpoints",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 50},
+				{ID: "b", ModelState: "running", Depth: 5},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "capacity fallback in configuration order",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 4, NeededGPUs: 8},
+				{ID: "b", ModelState: "cold", FreeGPUs: 16, NeededGPUs: 8},
+			},
+			wantIdx: 1, wantReason: ReasonCapacity,
+		},
+		{
+			name: "first configured when nothing fits",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 0, NeededGPUs: 8},
+				{ID: "b", ModelState: "cold", FreeGPUs: 0, NeededGPUs: 8},
+			},
+			wantIdx: 0, wantReason: ReasonFirstConf,
+		},
+		{
+			name: "starting treated as active",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "starting"},
+				{ID: "b", ModelState: "cold", FreeGPUs: 64, NeededGPUs: 8},
+			},
+			wantIdx: 0, wantReason: ReasonActive,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			idx, reason, err := Select(c.candidates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != c.wantIdx || reason != c.wantReason {
+				t.Errorf("Select = (%d, %s), want (%d, %s)", idx, reason, c.wantIdx, c.wantReason)
+			}
+		})
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	if _, _, err := Select(nil); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+}
+
+func newEndpoint(t *testing.T, name string, nodes, gpusPerNode int, clk clock.Clock) *fabric.Endpoint {
+	t.Helper()
+	cl := cluster.New(name, nodes, gpusPerNode, perfmodel.A100_40)
+	sched := scheduler.New(cl, clk, scheduler.Config{Prologue: 2 * time.Second})
+	ep, err := fabric.NewEndpoint(fabric.EndpointConfig{ID: "ep-" + name, Scheduler: sched}, clk, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close(); sched.Close() })
+	return ep
+}
+
+func TestRouterAgainstLiveEndpoints(t *testing.T) {
+	clk := clock.NewScaled(20000)
+	big := newEndpoint(t, "big", 4, 8, clk)
+	small := newEndpoint(t, "small", 1, 4, clk)
+
+	r := NewRouter(nil)
+	// Registry order: small first (priority for first-configured).
+	r.AddRoute(perfmodel.Llama70B, small)
+	r.AddRoute(perfmodel.Llama70B, big)
+
+	// 70B needs 8 GPUs: small (4-GPU nodes, 1 node) can never host it, so
+	// capacity routing must pick big.
+	d, err := r.Route(perfmodel.Llama70B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Endpoint.ID() != "ep-big" || d.Reason != ReasonCapacity {
+		t.Errorf("decision = %s/%s, want ep-big/capacity", d.Endpoint.ID(), d.Reason)
+	}
+
+	// Deploy on big and warm it: routing should switch to active.
+	dep, err := big.Deploy(fabric.DeploymentConfig{Model: perfmodel.Llama70B, MinInstances: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for dep.ReadyCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("instance never ready")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d, err = r.Route(perfmodel.Llama70B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Endpoint.ID() != "ep-big" || d.Reason != ReasonActive {
+		t.Errorf("decision = %s/%s, want ep-big/active", d.Endpoint.ID(), d.Reason)
+	}
+}
+
+func TestRouterUnknownModel(t *testing.T) {
+	r := NewRouter(nil)
+	if _, err := r.Route("unrouted/model"); err == nil {
+		t.Error("unrouted model accepted")
+	}
+	clk := clock.NewScaled(1000)
+	ep := newEndpoint(t, "x", 1, 8, clk)
+	r.AddRoute("not-in-catalog", ep)
+	if _, err := r.Route("not-in-catalog"); err == nil {
+		t.Error("model missing from catalog accepted")
+	}
+}
+
+func TestRouterModelsList(t *testing.T) {
+	clk := clock.NewScaled(1000)
+	ep := newEndpoint(t, "y", 1, 8, clk)
+	r := NewRouter(nil)
+	r.AddRoute(perfmodel.Llama8B, ep)
+	r.AddRoute(perfmodel.Llama70B, ep)
+	if got := len(r.Models()); got != 2 {
+		t.Errorf("models = %d", got)
+	}
+	if got := len(r.Endpoints(perfmodel.Llama8B)); got != 1 {
+		t.Errorf("endpoints = %d", got)
+	}
+}

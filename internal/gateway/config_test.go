@@ -1,0 +1,16 @@
+package gateway
+
+import "testing"
+
+func TestSyncWorkerModelUsesSmallPool(t *testing.T) {
+	cfg := Config{WorkerModel: WorkerSyncLegacy}
+	cfg.applyDefaults()
+	if cfg.SyncWorkers != 9 {
+		t.Errorf("sync workers = %d, want 9 (the paper's pre-Opt.3 pool)", cfg.SyncWorkers)
+	}
+	async := Config{}
+	async.applyDefaults()
+	if async.InFlightLimit != 428 {
+		t.Errorf("async window = %d, want 428 (Gunicorn cpu×2+1 × 4 threads)", async.InFlightLimit)
+	}
+}

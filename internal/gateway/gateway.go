@@ -1,0 +1,337 @@
+// Package gateway implements the FIRST Inference Gateway API (§3.1): an
+// OpenAI-compatible HTTP service that validates identities through the auth
+// layer (with introspection caching — Optimization 2), validates request
+// bodies, rate-limits users, optionally caches idempotent responses,
+// converts requests into fabric tasks routed by the federation layer,
+// logs all activity to the store, and exposes metrics, a dashboard, the
+// /jobs scheduler view, and the /v1/batches batch mode.
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/argonne-first/first/internal/auth"
+	"github.com/argonne-first/first/internal/batch"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/federation"
+	"github.com/argonne-first/first/internal/metrics"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/store"
+)
+
+// WorkerModel selects the gateway's concurrency architecture — the subject
+// of Optimization 3 (§5.3.1).
+type WorkerModel int
+
+const (
+	// WorkerAsync is the Django-Ninja-style asynchronous gateway: requests
+	// are offloaded to the fabric immediately and the in-flight window is
+	// wide (Gunicorn workers × threads).
+	WorkerAsync WorkerModel = iota
+	// WorkerSyncLegacy reproduces the original synchronous Django REST
+	// deployment: a small fixed worker pool is held for the full duration
+	// of every request ("only nine requests could be processed at a
+	// time").
+	WorkerSyncLegacy
+)
+
+// Config tunes the gateway.
+type Config struct {
+	WorkerModel WorkerModel
+	// InFlightLimit is the async in-flight window; the deployment default
+	// models Gunicorn's cpu_count×2+1 workers × 4 threads ≈ 428 (§5.2.2).
+	InFlightLimit int
+	// SyncWorkers is the legacy pool size (default 9).
+	SyncWorkers int
+	// ProcessingOverhead is the gateway's per-request CPU cost.
+	ProcessingOverhead time.Duration
+	// UserRatePerSec rate-limits each user (0 = disabled).
+	UserRatePerSec float64
+	// UserBurst is the rate limiter burst (default 2× rate).
+	UserBurst float64
+	// CacheTTL enables response caching for identical non-streaming
+	// requests when > 0.
+	CacheTTL time.Duration
+	// DefaultMaxTokens applies when requests omit max_tokens.
+	DefaultMaxTokens int
+}
+
+func (c *Config) applyDefaults() {
+	if c.InFlightLimit <= 0 {
+		c.InFlightLimit = 428
+	}
+	if c.SyncWorkers <= 0 {
+		c.SyncWorkers = 9
+	}
+	if c.UserBurst <= 0 {
+		c.UserBurst = c.UserRatePerSec * 2
+	}
+	if c.DefaultMaxTokens <= 0 {
+		c.DefaultMaxTokens = 128
+	}
+}
+
+// Server is the gateway.
+type Server struct {
+	cfg     Config
+	clk     clock.Clock
+	tokens  *auth.TokenCache
+	policy  *auth.Policy
+	router  *federation.Router
+	client  *fabric.Client
+	batches *batch.Runner
+	st      *store.Store
+	catalog *perfmodel.Catalog
+	met     *metrics.Registry
+
+	mux  *http.ServeMux
+	sem  chan struct{} // worker-model semaphore
+	next int64
+
+	mu        sync.Mutex
+	respCache map[string]cacheEntry
+	limiters  map[string]*userLimiter
+	tools     map[string][]ToolRoute
+}
+
+type cacheEntry struct {
+	body    []byte
+	expires time.Time
+}
+
+// Deps bundles the gateway's collaborators.
+type Deps struct {
+	Clock   clock.Clock
+	Tokens  *auth.TokenCache
+	Policy  *auth.Policy
+	Router  *federation.Router
+	Client  *fabric.Client
+	Batches *batch.Runner
+	Store   *store.Store
+	Catalog *perfmodel.Catalog
+	Metrics *metrics.Registry
+}
+
+// New assembles a gateway server.
+func New(cfg Config, deps Deps) (*Server, error) {
+	cfg.applyDefaults()
+	if deps.Clock == nil || deps.Tokens == nil || deps.Router == nil || deps.Client == nil || deps.Store == nil {
+		return nil, errors.New("gateway: missing dependencies")
+	}
+	if deps.Catalog == nil {
+		deps.Catalog = perfmodel.Default
+	}
+	if deps.Metrics == nil {
+		deps.Metrics = metrics.NewRegistry()
+	}
+	if deps.Policy == nil {
+		deps.Policy = auth.NewPolicy("")
+	}
+	s := &Server{
+		cfg:       cfg,
+		clk:       deps.Clock,
+		tokens:    deps.Tokens,
+		policy:    deps.Policy,
+		router:    deps.Router,
+		client:    deps.Client,
+		batches:   deps.Batches,
+		st:        deps.Store,
+		catalog:   deps.Catalog,
+		met:       deps.Metrics,
+		mux:       http.NewServeMux(),
+		respCache: make(map[string]cacheEntry),
+		limiters:  make(map[string]*userLimiter),
+	}
+	workers := cfg.InFlightLimit
+	if cfg.WorkerModel == WorkerSyncLegacy {
+		workers = cfg.SyncWorkers
+	}
+	s.sem = make(chan struct{}, workers)
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/chat/completions", s.withAuth(s.handleChat))
+	s.mux.HandleFunc("POST /v1/completions", s.withAuth(s.handleCompletion))
+	s.mux.HandleFunc("POST /v1/embeddings", s.withAuth(s.handleEmbeddings))
+	s.mux.HandleFunc("GET /v1/models", s.withAuth(s.handleModels))
+	s.mux.HandleFunc("GET /jobs", s.withAuth(s.handleJobs))
+	s.mux.HandleFunc("POST /v1/batches", s.withAuth(s.handleCreateBatch))
+	s.mux.HandleFunc("GET /v1/batches", s.withAuth(s.handleListBatches))
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.withAuth(s.handleGetBatch))
+	s.mux.HandleFunc("GET /v1/batches/{id}/results", s.withAuth(s.handleBatchResults))
+	s.mux.HandleFunc("POST /v1/batches/{id}/cancel", s.withAuth(s.handleCancelBatch))
+	s.mux.HandleFunc("POST /v1/tools/{name}", s.withAuth(s.handleTool))
+	s.mux.HandleFunc("GET /v1/tools", s.withAuth(s.handleListTools))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the registry (tests, dashboard embedding).
+func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+type authedHandler func(w http.ResponseWriter, r *http.Request, who auth.TokenInfo)
+
+// withAuth is the §3.1.2 authorization middleware: Bearer token →
+// introspection (cached) → per-user rate limit → worker-model admission.
+func (s *Server) withAuth(h authedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.clk.Now()
+		authz := r.Header.Get("Authorization")
+		if !strings.HasPrefix(authz, "Bearer ") {
+			s.writeError(w, http.StatusUnauthorized, "invalid_request_error", "missing bearer token")
+			return
+		}
+		token := strings.TrimPrefix(authz, "Bearer ")
+		info, err := s.tokens.Introspect(token)
+		if err != nil || !info.Active {
+			s.met.Counter("auth_rejected").Inc()
+			status := http.StatusUnauthorized
+			if errors.Is(err, auth.ErrRateLimited) {
+				status = http.StatusTooManyRequests
+			}
+			s.writeError(w, status, "invalid_request_error", "token rejected: "+errString(err))
+			return
+		}
+		if s.cfg.UserRatePerSec > 0 && !s.allowUser(info.Sub) {
+			s.met.Counter("rate_limited").Inc()
+			s.writeError(w, http.StatusTooManyRequests, "rate_limit_error", "user rate limit exceeded")
+			return
+		}
+		// Worker admission: the legacy sync model holds one of few worker
+		// slots for the whole request; async admits a wide window.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			if s.cfg.WorkerModel == WorkerSyncLegacy {
+				// Sync workers queue (blocking) like WSGI workers would.
+				s.sem <- struct{}{}
+			} else {
+				s.met.Counter("overloaded").Inc()
+				s.writeError(w, http.StatusServiceUnavailable, "overloaded_error", "gateway at capacity")
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		if s.cfg.ProcessingOverhead > 0 {
+			s.clk.Sleep(s.cfg.ProcessingOverhead)
+		}
+		s.met.Counter("http_requests").Inc()
+		h(w, r, info)
+		s.met.Histogram("http_request_seconds").Observe(s.clk.Since(start))
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "inactive token"
+	}
+	return err.Error()
+}
+
+type userLimiter struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func (s *Server) allowUser(sub string) bool {
+	s.mu.Lock()
+	lim, ok := s.limiters[sub]
+	if !ok {
+		lim = &userLimiter{tokens: s.cfg.UserBurst, last: s.clk.Now()}
+		s.limiters[sub] = lim
+	}
+	s.mu.Unlock()
+
+	lim.mu.Lock()
+	defer lim.mu.Unlock()
+	now := s.clk.Now()
+	elapsed := now.Sub(lim.last).Seconds()
+	if elapsed > 0 {
+		lim.tokens += elapsed * s.cfg.UserRatePerSec
+		if lim.tokens > s.cfg.UserBurst {
+			lim.tokens = s.cfg.UserBurst
+		}
+		lim.last = now
+	}
+	if lim.tokens >= 1 {
+		lim.tokens--
+		return true
+	}
+	return false
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, typ, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(openaiapi.NewError(typ, msg))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// cacheKey hashes user+body for the response cache.
+func cacheKey(sub string, body []byte) string {
+	h := sha256.Sum256(append([]byte(sub+"\x00"), body...))
+	return hex.EncodeToString(h[:])
+}
+
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if s.cfg.CacheTTL <= 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.respCache[key]
+	if !ok || s.clk.Now().After(e.expires) {
+		if ok {
+			delete(s.respCache, key)
+		}
+		return nil, false
+	}
+	return e.body, true
+}
+
+func (s *Server) cachePut(key string, body []byte) {
+	if s.cfg.CacheTTL <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.respCache) > 4096 { // crude bound; real deployment uses Redis
+		s.respCache = make(map[string]cacheEntry)
+	}
+	s.respCache[key] = cacheEntry{body: body, expires: s.clk.Now().Add(s.cfg.CacheTTL)}
+}
+
+func (s *Server) nextID(prefix string) string {
+	s.mu.Lock()
+	s.next++
+	n := s.next
+	s.mu.Unlock()
+	return fmt.Sprintf("%s-%08d", prefix, n)
+}

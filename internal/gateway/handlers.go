@@ -1,0 +1,482 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/argonne-first/first/internal/auth"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/metrics"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/store"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+const maxBodyBytes = 32 << 20
+
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", "cannot read body")
+		return nil, false
+	}
+	return body, true
+}
+
+// handleChat serves POST /v1/chat/completions.
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req openaiapi.ChatCompletionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+	if err := s.policy.Authorize(who, req.Model); err != nil {
+		s.writeError(w, http.StatusForbidden, "permission_error", err.Error())
+		return
+	}
+
+	var promptTok int
+	var lastUser string
+	for _, m := range req.Messages {
+		promptTok += workload.EstimateTokens(m.Content)
+		if m.Role == "user" {
+			lastUser = m.Content
+		}
+	}
+	maxTok := req.MaxTokens
+	if maxTok <= 0 {
+		maxTok = s.cfg.DefaultMaxTokens
+	}
+
+	key := cacheKey(who.Sub, body)
+	if !req.Stream {
+		if cached, ok := s.cacheGet(key); ok {
+			s.met.Counter("cache_hits").Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-First-Cache", "hit")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(cached)
+			return
+		}
+	}
+
+	res, meta, err := s.infer(r, who, req.Model, fabric.InferRequest{
+		Model:     req.Model,
+		PromptTok: promptTok,
+		OutputTok: maxTok,
+		Prompt:    lastUser,
+		WantText:  true,
+	})
+	if err != nil {
+		s.logRequest(who, req.Model, meta, store.KindChat, promptTok, 0, "error")
+		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+		return
+	}
+	s.logRequest(who, req.Model, meta, store.KindChat, res.PromptTok, res.OutputTok, "ok")
+
+	resp := openaiapi.ChatCompletionResponse{
+		ID:      s.nextID("chatcmpl"),
+		Object:  "chat.completion",
+		Created: s.clk.Now().Unix(),
+		Model:   req.Model,
+		Choices: []openaiapi.Choice{{
+			Index:        0,
+			Message:      &openaiapi.Message{Role: "assistant", Content: res.Text},
+			FinishReason: "stop",
+		}},
+		Usage: openaiapi.Usage{
+			PromptTokens:     res.PromptTok,
+			CompletionTokens: res.OutputTok,
+			TotalTokens:      res.PromptTok + res.OutputTok,
+		},
+	}
+	if req.Stream {
+		s.streamChat(w, resp)
+		return
+	}
+	out, _ := json.Marshal(resp)
+	s.cachePut(key, out)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+// streamChat replays a finished completion as OpenAI-style SSE deltas.
+// (The fabric returns whole results; token-level streaming stops at the
+// gateway boundary — see DESIGN.md.)
+func (s *Server) streamChat(w http.ResponseWriter, resp openaiapi.ChatCompletionResponse) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	content := ""
+	if len(resp.Choices) > 0 && resp.Choices[0].Message != nil {
+		content = resp.Choices[0].Message.Content
+	}
+	words := strings.Fields(content)
+	const chunkWords = 16
+	for i := 0; i < len(words); i += chunkWords {
+		end := i + chunkWords
+		if end > len(words) {
+			end = len(words)
+		}
+		piece := strings.Join(words[i:end], " ")
+		if i > 0 {
+			piece = " " + piece
+		}
+		chunk := openaiapi.StreamChunk{
+			ID:      resp.ID,
+			Object:  "chat.completion.chunk",
+			Created: resp.Created,
+			Model:   resp.Model,
+			Choices: []openaiapi.Choice{{Index: 0, Delta: &openaiapi.Message{Role: "assistant", Content: piece}}},
+		}
+		if err := openaiapi.WriteSSE(w, chunk); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	final := openaiapi.StreamChunk{
+		ID: resp.ID, Object: "chat.completion.chunk", Created: resp.Created, Model: resp.Model,
+		Choices: []openaiapi.Choice{{Index: 0, Delta: &openaiapi.Message{}, FinishReason: "stop"}},
+	}
+	_ = openaiapi.WriteSSE(w, final)
+	_ = openaiapi.WriteSSEDone(w)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleCompletion serves POST /v1/completions.
+func (s *Server) handleCompletion(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req openaiapi.CompletionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+	if err := s.policy.Authorize(who, req.Model); err != nil {
+		s.writeError(w, http.StatusForbidden, "permission_error", err.Error())
+		return
+	}
+	promptTok := workload.EstimateTokens(req.Prompt)
+	maxTok := req.MaxTokens
+	if maxTok <= 0 {
+		maxTok = s.cfg.DefaultMaxTokens
+	}
+	res, meta, err := s.infer(r, who, req.Model, fabric.InferRequest{
+		Model:     req.Model,
+		PromptTok: promptTok,
+		OutputTok: maxTok,
+		Prompt:    req.Prompt,
+		WantText:  true,
+	})
+	if err != nil {
+		s.logRequest(who, req.Model, meta, store.KindCompletion, promptTok, 0, "error")
+		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+		return
+	}
+	s.logRequest(who, req.Model, meta, store.KindCompletion, res.PromptTok, res.OutputTok, "ok")
+	s.writeJSON(w, http.StatusOK, openaiapi.CompletionResponse{
+		ID:      s.nextID("cmpl"),
+		Object:  "text_completion",
+		Created: s.clk.Now().Unix(),
+		Model:   req.Model,
+		Choices: []openaiapi.Choice{{Index: 0, Text: res.Text, FinishReason: "stop"}},
+		Usage: openaiapi.Usage{
+			PromptTokens:     res.PromptTok,
+			CompletionTokens: res.OutputTok,
+			TotalTokens:      res.PromptTok + res.OutputTok,
+		},
+	})
+}
+
+// infer routes through the federation layer and executes via the fabric.
+func (s *Server) infer(r *http.Request, who auth.TokenInfo, model string, req fabric.InferRequest) (fabric.InferResult, routeMeta, error) {
+	decision, err := s.router.Route(model)
+	if err != nil {
+		return fabric.InferResult{}, routeMeta{}, err
+	}
+	meta := routeMeta{endpoint: decision.Endpoint.ID(), cluster: decision.Endpoint.ClusterName(), reason: string(decision.Reason)}
+	s.met.Counter("route_" + string(decision.Reason)).Inc()
+	res, err := s.client.Infer(r.Context(), decision.Endpoint.ID(), req)
+	return res, meta, err
+}
+
+type routeMeta struct {
+	endpoint string
+	cluster  string
+	reason   string
+}
+
+func (s *Server) logRequest(who auth.TokenInfo, model string, meta routeMeta, kind store.RequestKind, promptTok, outputTok int, status string) {
+	s.st.LogRequest(store.RequestLog{
+		User:      who.Sub,
+		Model:     model,
+		Endpoint:  meta.endpoint,
+		Cluster:   meta.cluster,
+		Kind:      kind,
+		PromptTok: promptTok,
+		OutputTok: outputTok,
+		Status:    status,
+		CreatedAt: s.clk.Now(),
+	})
+	if outputTok > 0 {
+		s.met.Counter("output_tokens").Add(int64(outputTok))
+	}
+	s.met.Counter("requests_" + string(kind)).Inc()
+}
+
+// handleEmbeddings serves POST /v1/embeddings.
+func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req openaiapi.EmbeddingRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+	if err := s.policy.Authorize(who, req.Model); err != nil {
+		s.writeError(w, http.StatusForbidden, "permission_error", err.Error())
+		return
+	}
+	decision, err := s.router.Route(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "invalid_request_error", err.Error())
+		return
+	}
+	res, err := s.client.Embed(r.Context(), decision.Endpoint.ID(), fabric.EmbedRequest{Model: req.Model, Inputs: req.Input})
+	meta := routeMeta{endpoint: decision.Endpoint.ID(), cluster: decision.Endpoint.ClusterName(), reason: string(decision.Reason)}
+	var promptTok int
+	for _, in := range req.Input {
+		promptTok += workload.EstimateTokens(in)
+	}
+	if err != nil {
+		s.logRequest(who, req.Model, meta, store.KindEmbedding, promptTok, 0, "error")
+		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+		return
+	}
+	s.logRequest(who, req.Model, meta, store.KindEmbedding, promptTok, 0, "ok")
+	data := make([]openaiapi.EmbeddingData, len(res.Vectors))
+	for i, v := range res.Vectors {
+		data[i] = openaiapi.EmbeddingData{Object: "embedding", Index: i, Embedding: v}
+	}
+	s.writeJSON(w, http.StatusOK, openaiapi.EmbeddingResponse{
+		Object: "list",
+		Model:  req.Model,
+		Data:   data,
+		Usage:  openaiapi.Usage{PromptTokens: promptTok, TotalTokens: promptTok},
+	})
+}
+
+// handleModels serves GET /v1/models: the federated model registry.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	names := s.router.Models()
+	sort.Strings(names)
+	list := openaiapi.ModelList{Object: "list"}
+	for _, n := range names {
+		entry := openaiapi.Model{ID: n, Object: "model", OwnedBy: "first"}
+		if spec, err := s.catalog.Lookup(n); err == nil {
+			entry.Kind = spec.Kind.String()
+		}
+		list.Data = append(list.Data, entry)
+	}
+	s.writeJSON(w, http.StatusOK, list)
+}
+
+// handleJobs serves GET /jobs (§4.3): scheduler-backed model availability.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	var resp openaiapi.JobsResponse
+	names := s.router.Models()
+	sort.Strings(names)
+	for _, model := range names {
+		for _, ep := range s.router.Endpoints(model) {
+			if d, ok := ep.Deployment(model); ok {
+				st := d.Status()
+				resp.Models = append(resp.Models, openaiapi.ModelJobStatus{
+					Model: st.Model, Endpoint: st.Endpoint, Cluster: st.Cluster,
+					State: st.State, Running: st.Running, Starting: st.Starting, Queued: st.Queued,
+				})
+			} else {
+				resp.Models = append(resp.Models, openaiapi.ModelJobStatus{
+					Model: model, Endpoint: ep.ID(), Cluster: ep.ClusterName(), State: "cold",
+				})
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCreateBatch serves POST /v1/batches (§4.4).
+func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	if s.batches == nil {
+		s.writeError(w, http.StatusNotImplemented, "api_error", "batch mode not configured")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req openaiapi.CreateBatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Model == "" {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", "model is required")
+		return
+	}
+	if err := s.policy.Authorize(who, req.Model); err != nil {
+		s.writeError(w, http.StatusForbidden, "permission_error", err.Error())
+		return
+	}
+	decision, err := s.router.Route(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "invalid_request_error", err.Error())
+		return
+	}
+	id, err := s.batches.Submit(who.Sub, req.Model, req.InputLines, decision.Endpoint)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+	b, _ := s.st.GetBatch(id)
+	s.writeJSON(w, http.StatusOK, batchToObject(b))
+}
+
+func batchToObject(b store.Batch) openaiapi.BatchObject {
+	return openaiapi.BatchObject{
+		ID:           b.ID,
+		Object:       "batch",
+		Model:        b.Model,
+		Status:       string(b.State),
+		Total:        b.Total,
+		Completed:    b.Completed,
+		OutputTokens: b.OutputTokens,
+		CreatedAt:    b.CreatedAt.Unix(),
+		Error:        b.Error,
+	}
+}
+
+// handleListBatches serves GET /v1/batches.
+func (s *Server) handleListBatches(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	batches := s.st.ListBatches(who.Sub)
+	out := struct {
+		Object string                  `json:"object"`
+		Data   []openaiapi.BatchObject `json:"data"`
+	}{Object: "list"}
+	for _, b := range batches {
+		out.Data = append(out.Data, batchToObject(b))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetBatch serves GET /v1/batches/{id}.
+func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	id := r.PathValue("id")
+	b, ok := s.st.GetBatch(id)
+	if !ok || (b.User != who.Sub && b.User != "") {
+		s.writeError(w, http.StatusNotFound, "invalid_request_error", "no such batch")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, batchToObject(b))
+}
+
+// handleBatchResults serves GET /v1/batches/{id}/results as JSONL.
+func (s *Server) handleBatchResults(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	id := r.PathValue("id")
+	b, ok := s.st.GetBatch(id)
+	if !ok || b.User != who.Sub {
+		s.writeError(w, http.StatusNotFound, "invalid_request_error", "no such batch")
+		return
+	}
+	lines, ok := s.batches.Results(id)
+	if !ok {
+		s.writeError(w, http.StatusConflict, "invalid_request_error", "batch not completed")
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, line := range lines {
+		_ = enc.Encode(line)
+	}
+}
+
+// handleCancelBatch serves POST /v1/batches/{id}/cancel.
+func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
+	id := r.PathValue("id")
+	b, ok := s.st.GetBatch(id)
+	if !ok || b.User != who.Sub {
+		s.writeError(w, http.StatusNotFound, "invalid_request_error", "no such batch")
+		return
+	}
+	s.batches.Cancel(id)
+	b, _ = s.st.GetBatch(id)
+	s.writeJSON(w, http.StatusOK, batchToObject(b))
+}
+
+// handleMetrics serves GET /metrics (Prometheus-style text).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, s.met.Expose())
+}
+
+// Dashboard is the §3.1.1 web dashboard's JSON document.
+type Dashboard struct {
+	GeneratedAt time.Time                  `json:"generated_at"`
+	Totals      store.Totals               `json:"totals"`
+	Metrics     metrics.RegistrySnapshot   `json:"metrics"`
+	Models      []openaiapi.ModelJobStatus `json:"models"`
+}
+
+// handleDashboard serves GET /dashboard.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	d := Dashboard{
+		GeneratedAt: s.clk.Now(),
+		Totals:      s.st.Totals(),
+		Metrics:     s.met.Snapshot(),
+	}
+	names := s.router.Models()
+	sort.Strings(names)
+	for _, model := range names {
+		for _, ep := range s.router.Endpoints(model) {
+			if dpl, ok := ep.Deployment(model); ok {
+				st := dpl.Status()
+				d.Models = append(d.Models, openaiapi.ModelJobStatus{
+					Model: st.Model, Endpoint: st.Endpoint, Cluster: st.Cluster,
+					State: st.State, Running: st.Running, Starting: st.Starting, Queued: st.Queued,
+				})
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, d)
+}

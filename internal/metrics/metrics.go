@@ -1,0 +1,321 @@
+// Package metrics implements the gateway's monitoring layer (§3.1.1): thread
+// safe counters, gauges, and latency histograms with quantile estimation,
+// grouped in registries whose snapshots feed the dashboard and the /metrics
+// endpoint.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative values are ignored to preserve monotonicity).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records duration observations in exponential buckets and
+// estimates quantiles by linear interpolation within the matched bucket.
+// The default layout spans 1 ms .. ~2.3 h with 10% resolution.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, seconds
+	counts []int64   // len(bounds)+1, last is overflow
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram with the default exponential layout.
+func NewHistogram() *Histogram {
+	var bounds []float64
+	for b := 0.001; b < 10000; b *= 1.1 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveSeconds(d.Seconds()) }
+
+// ObserveSeconds records a value in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	if s < 0 || math.IsNaN(s) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, s)
+	h.counts[idx]++
+	h.sum += s
+	h.n++
+	if s < h.min {
+		h.min = s
+	}
+	if s > h.max {
+		h.max = s
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean of observations in seconds (0 if empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Summary is a point-in-time view of a histogram.
+type Summary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean_s"`
+	Min   float64 `json:"min_s"`
+	Max   float64 `json:"max_s"`
+	P50   float64 `json:"p50_s"`
+	P90   float64 `json:"p90_s"`
+	P99   float64 `json:"p99_s"`
+}
+
+// Snapshot returns a summary of the histogram.
+func (h *Histogram) Snapshot() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Summary{Count: h.n}
+	if h.n == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.n)
+	s.Min = h.min
+	s.Max = h.max
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// Registry is a named collection of metrics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures all metrics for the dashboard / metrics endpoint.
+type RegistrySnapshot struct {
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]int64   `json:"gauges"`
+	Histograms map[string]Summary `json:"histograms"`
+}
+
+// Snapshot returns a consistent copy of all metric values.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]Summary, len(hists)),
+	}
+	for k, v := range counters {
+		snap.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		snap.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		snap.Histograms[k] = v.Snapshot()
+	}
+	return snap
+}
+
+// Names returns sorted metric names by kind (useful for text exposition).
+func (r *Registry) Names() (counters, gauges, histograms []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.counters {
+		counters = append(counters, k)
+	}
+	for k := range r.gauges {
+		gauges = append(gauges, k)
+	}
+	for k := range r.histograms {
+		histograms = append(histograms, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return
+}
+
+// Expose renders a Prometheus-flavoured text exposition of the registry.
+func (r *Registry) Expose() string {
+	counters, gauges, hists := r.Names()
+	out := ""
+	for _, name := range counters {
+		out += fmt.Sprintf("first_%s_total %d\n", name, r.Counter(name).Value())
+	}
+	for _, name := range gauges {
+		out += fmt.Sprintf("first_%s %d\n", name, r.Gauge(name).Value())
+	}
+	for _, name := range hists {
+		s := r.Histogram(name).Snapshot()
+		out += fmt.Sprintf("first_%s_count %d\n", name, s.Count)
+		out += fmt.Sprintf("first_%s_mean_seconds %g\n", name, s.Mean)
+		out += fmt.Sprintf("first_%s_p50_seconds %g\n", name, s.P50)
+		out += fmt.Sprintf("first_%s_p90_seconds %g\n", name, s.P90)
+		out += fmt.Sprintf("first_%s_p99_seconds %g\n", name, s.P99)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package openaiapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestChatRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  ChatCompletionRequest
+		ok   bool
+	}{
+		{"valid", ChatCompletionRequest{Model: "m", Messages: []Message{{Role: "user", Content: "hi"}}}, true},
+		{"system+user", ChatCompletionRequest{Model: "m", Messages: []Message{{Role: "system", Content: "s"}, {Role: "user", Content: "u"}}}, true},
+		{"no model", ChatCompletionRequest{Messages: []Message{{Role: "user", Content: "hi"}}}, false},
+		{"no messages", ChatCompletionRequest{Model: "m"}, false},
+		{"bad role", ChatCompletionRequest{Model: "m", Messages: []Message{{Role: "robot", Content: "x"}}}, false},
+		{"negative max", ChatCompletionRequest{Model: "m", Messages: []Message{{Role: "user", Content: "x"}}, MaxTokens: -1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.req.Validate()
+			if (err == nil) != c.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestCompletionRequestValidation(t *testing.T) {
+	if err := (&CompletionRequest{Model: "m", Prompt: "p"}).Validate(); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+	if err := (&CompletionRequest{Prompt: "p"}).Validate(); err == nil {
+		t.Error("missing model accepted")
+	}
+	if err := (&CompletionRequest{Model: "m"}).Validate(); err == nil {
+		t.Error("missing prompt accepted")
+	}
+}
+
+func TestEmbeddingRequestInputForms(t *testing.T) {
+	var single EmbeddingRequest
+	if err := json.Unmarshal([]byte(`{"model":"e","input":"hello world"}`), &single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Input) != 1 || single.Input[0] != "hello world" {
+		t.Errorf("single input = %v", single.Input)
+	}
+	var list EmbeddingRequest
+	if err := json.Unmarshal([]byte(`{"model":"e","input":["a","b"]}`), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Input) != 2 {
+		t.Errorf("list input = %v", list.Input)
+	}
+	var empty EmbeddingRequest
+	if err := json.Unmarshal([]byte(`{"model":"e"}`), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := (&EmbeddingRequest{Input: []string{"x"}}).Validate(); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestSSERoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	chunks := []StreamChunk{
+		{ID: "c1", Model: "m", Choices: []Choice{{Delta: &Message{Role: "assistant", Content: "Hello "}}}},
+		{ID: "c1", Model: "m", Choices: []Choice{{Delta: &Message{Content: "world"}}}},
+	}
+	for _, c := range chunks {
+		if err := WriteSSE(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSSEDone(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text, err := CollectStreamText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "Hello world" {
+		t.Errorf("collected %q", text)
+	}
+}
+
+func TestReadSSEStopsAtDone(t *testing.T) {
+	raw := "data: {\"x\":1}\n\ndata: [DONE]\n\ndata: {\"x\":2}\n\n"
+	var seen int
+	err := ReadSSE(strings.NewReader(raw), func(data []byte) error {
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Errorf("events seen = %d, want 1 (stop at DONE)", seen)
+	}
+}
+
+func TestReadSSEIgnoresNonDataLines(t *testing.T) {
+	raw := ": comment\nevent: x\ndata: {\"a\":1}\n\ndata: [DONE]\n\n"
+	var seen int
+	if err := ReadSSE(strings.NewReader(raw), func([]byte) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Errorf("seen = %d", seen)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	e := NewError("invalid_request_error", "bad input")
+	raw, _ := json.Marshal(e)
+	var back ErrorResponse
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Error.Type != "invalid_request_error" || back.Error.Message != "bad input" {
+		t.Errorf("envelope = %+v", back)
+	}
+}
+
+func TestBatchLineSerialization(t *testing.T) {
+	line := BatchRequestLine{
+		CustomID: "r1", Method: "POST", URL: "/v1/chat/completions",
+		Body: ChatCompletionRequest{Model: "m", Messages: []Message{{Role: "user", Content: "x"}}, MaxTokens: 5},
+	}
+	raw, _ := json.Marshal(line)
+	var back BatchRequestLine
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CustomID != "r1" || back.Body.MaxTokens != 5 {
+		t.Errorf("roundtrip = %+v", back)
+	}
+}

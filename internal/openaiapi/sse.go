@@ -1,0 +1,86 @@
+package openaiapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SSE (server-sent events) framing for streaming responses (§4.7: "The
+// interface also supports streaming responses").
+
+// StreamDone is the terminal SSE sentinel.
+const StreamDone = "[DONE]"
+
+// WriteSSE writes one event carrying v as JSON.
+func WriteSSE(w io.Writer, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+// WriteSSEDone writes the terminal sentinel.
+func WriteSSEDone(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "data: %s\n\n", StreamDone)
+	return err
+}
+
+// StreamChunk is one streamed chat delta.
+type StreamChunk struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Created int64    `json:"created"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+}
+
+// ReadSSE consumes an SSE stream, invoking onData for every event payload
+// until [DONE] or EOF.
+func ReadSSE(r io.Reader, onData func(data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue
+		}
+		payload := bytes.TrimPrefix(line, []byte("data: "))
+		if string(payload) == StreamDone {
+			return nil
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		if err := onData(cp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// CollectStreamText reassembles the full assistant text from a chat SSE
+// stream.
+func CollectStreamText(r io.Reader) (string, error) {
+	var b strings.Builder
+	err := ReadSSE(r, func(data []byte) error {
+		var chunk StreamChunk
+		if err := json.Unmarshal(data, &chunk); err != nil {
+			return err
+		}
+		for _, c := range chunk.Choices {
+			if c.Delta != nil {
+				b.WriteString(c.Delta.Content)
+			}
+		}
+		return nil
+	})
+	return b.String(), err
+}

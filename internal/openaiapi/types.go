@@ -1,0 +1,251 @@
+// Package openaiapi defines the OpenAI-compatible wire format the gateway
+// serves and the client SDK speaks (§3.1.1: "The API is OpenAI-compatible
+// and supports the chat completions, completions, embeddings endpoints"),
+// plus the /v1/batches shapes (§4.4) and server-sent-event streaming.
+package openaiapi
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// ChatCompletionRequest is POST /v1/chat/completions.
+type ChatCompletionRequest struct {
+	Model       string    `json:"model"`
+	Messages    []Message `json:"messages"`
+	MaxTokens   int       `json:"max_tokens,omitempty"`
+	Temperature float64   `json:"temperature,omitempty"`
+	TopP        float64   `json:"top_p,omitempty"`
+	N           int       `json:"n,omitempty"`
+	Stream      bool      `json:"stream,omitempty"`
+	User        string    `json:"user,omitempty"`
+}
+
+// Validate checks required fields.
+func (r *ChatCompletionRequest) Validate() error {
+	if r.Model == "" {
+		return fmt.Errorf("model is required")
+	}
+	if len(r.Messages) == 0 {
+		return fmt.Errorf("messages must not be empty")
+	}
+	for i, m := range r.Messages {
+		switch m.Role {
+		case "system", "user", "assistant", "tool":
+		default:
+			return fmt.Errorf("messages[%d]: invalid role %q", i, m.Role)
+		}
+	}
+	if r.MaxTokens < 0 {
+		return fmt.Errorf("max_tokens must be non-negative")
+	}
+	return nil
+}
+
+// CompletionRequest is POST /v1/completions.
+type CompletionRequest struct {
+	Model       string  `json:"model"`
+	Prompt      string  `json:"prompt"`
+	MaxTokens   int     `json:"max_tokens,omitempty"`
+	Temperature float64 `json:"temperature,omitempty"`
+	Stream      bool    `json:"stream,omitempty"`
+	User        string  `json:"user,omitempty"`
+}
+
+// Validate checks required fields.
+func (r *CompletionRequest) Validate() error {
+	if r.Model == "" {
+		return fmt.Errorf("model is required")
+	}
+	if r.Prompt == "" {
+		return fmt.Errorf("prompt is required")
+	}
+	if r.MaxTokens < 0 {
+		return fmt.Errorf("max_tokens must be non-negative")
+	}
+	return nil
+}
+
+// EmbeddingRequest is POST /v1/embeddings.
+type EmbeddingRequest struct {
+	Model string   `json:"model"`
+	Input []string `json:"input"`
+	User  string   `json:"user,omitempty"`
+}
+
+// UnmarshalJSON accepts both a string and a list for "input" like OpenAI.
+func (r *EmbeddingRequest) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Model string          `json:"model"`
+		Input json.RawMessage `json:"input"`
+		User  string          `json:"user,omitempty"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	r.Model = raw.Model
+	r.User = raw.User
+	if len(raw.Input) == 0 {
+		return nil
+	}
+	var single string
+	if err := json.Unmarshal(raw.Input, &single); err == nil {
+		r.Input = []string{single}
+		return nil
+	}
+	return json.Unmarshal(raw.Input, &r.Input)
+}
+
+// Validate checks required fields.
+func (r *EmbeddingRequest) Validate() error {
+	if r.Model == "" {
+		return fmt.Errorf("model is required")
+	}
+	if len(r.Input) == 0 {
+		return fmt.Errorf("input is required")
+	}
+	return nil
+}
+
+// Usage is token accounting attached to responses.
+type Usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// Choice is one generation in a completion response.
+type Choice struct {
+	Index        int      `json:"index"`
+	Message      *Message `json:"message,omitempty"`
+	Text         string   `json:"text,omitempty"`
+	Delta        *Message `json:"delta,omitempty"`
+	FinishReason string   `json:"finish_reason,omitempty"`
+}
+
+// ChatCompletionResponse is the non-streaming chat result.
+type ChatCompletionResponse struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Created int64    `json:"created"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+	Usage   Usage    `json:"usage"`
+}
+
+// CompletionResponse is the non-streaming text-completion result.
+type CompletionResponse struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Created int64    `json:"created"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+	Usage   Usage    `json:"usage"`
+}
+
+// EmbeddingData is one embedding vector.
+type EmbeddingData struct {
+	Object    string    `json:"object"`
+	Index     int       `json:"index"`
+	Embedding []float32 `json:"embedding"`
+}
+
+// EmbeddingResponse is the embeddings result.
+type EmbeddingResponse struct {
+	Object string          `json:"object"`
+	Model  string          `json:"model"`
+	Data   []EmbeddingData `json:"data"`
+	Usage  Usage           `json:"usage"`
+}
+
+// Model is one /v1/models entry.
+type Model struct {
+	ID      string `json:"id"`
+	Object  string `json:"object"`
+	OwnedBy string `json:"owned_by"`
+	Kind    string `json:"kind,omitempty"`
+}
+
+// ModelList is GET /v1/models.
+type ModelList struct {
+	Object string  `json:"object"`
+	Data   []Model `json:"data"`
+}
+
+// BatchRequestLine is one JSONL line of a batch input file (§4.4: "each
+// line constitutes a complete inference request").
+type BatchRequestLine struct {
+	CustomID string                `json:"custom_id"`
+	Method   string                `json:"method"`
+	URL      string                `json:"url"`
+	Body     ChatCompletionRequest `json:"body"`
+}
+
+// BatchResponseLine is one JSONL line of a batch output file.
+type BatchResponseLine struct {
+	CustomID string                  `json:"custom_id"`
+	Status   int                     `json:"status"`
+	Body     *ChatCompletionResponse `json:"body,omitempty"`
+	Error    string                  `json:"error,omitempty"`
+}
+
+// CreateBatchRequest is POST /v1/batches.
+type CreateBatchRequest struct {
+	Model string `json:"model"`
+	// InputLines carries the JSONL content inline (the stand-in for the
+	// uploaded-file reference in the real API).
+	InputLines []BatchRequestLine `json:"input_lines"`
+	Endpoint   string             `json:"endpoint,omitempty"`
+}
+
+// BatchObject is the /v1/batches resource.
+type BatchObject struct {
+	ID           string `json:"id"`
+	Object       string `json:"object"`
+	Model        string `json:"model"`
+	Status       string `json:"status"`
+	Total        int    `json:"total"`
+	Completed    int    `json:"completed"`
+	OutputTokens int64  `json:"output_tokens"`
+	CreatedAt    int64  `json:"created_at"`
+	Error        string `json:"error,omitempty"`
+}
+
+// JobsResponse is GET /jobs (§4.3): per-model scheduler-backed status.
+type JobsResponse struct {
+	Models []ModelJobStatus `json:"models"`
+}
+
+// ModelJobStatus reports one model's state on one endpoint.
+type ModelJobStatus struct {
+	Model    string `json:"model"`
+	Endpoint string `json:"endpoint"`
+	Cluster  string `json:"cluster"`
+	State    string `json:"state"` // running | starting | queued | cold
+	Running  int    `json:"running"`
+	Starting int    `json:"starting"`
+	Queued   int    `json:"queued"`
+}
+
+// ErrorResponse is the OpenAI error envelope.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the error payload.
+type ErrorBody struct {
+	Message string `json:"message"`
+	Type    string `json:"type"`
+	Code    string `json:"code,omitempty"`
+}
+
+// NewError builds an error envelope.
+func NewError(typ, msg string) ErrorResponse {
+	return ErrorResponse{Error: ErrorBody{Message: msg, Type: typ}}
+}

@@ -1,0 +1,202 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func spec70B(t *testing.T) ModelSpec {
+	t.Helper()
+	return Default.MustLookup(Llama70B)
+}
+
+func TestCatalogLookup(t *testing.T) {
+	m, err := Default.Lookup(Llama8B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TensorParallel != 4 {
+		t.Errorf("8B TP = %d, want 4", m.TensorParallel)
+	}
+	if _, err := Default.Lookup("no/such-model"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestCatalogRegisterValidates(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(ModelSpec{Name: ""}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if err := c.Register(ModelSpec{Name: "x", TensorParallel: 0}); err == nil {
+		t.Error("zero TP should be rejected")
+	}
+	custom := Default.MustLookup(Llama8B)
+	custom.Name = "lab/custom-8B"
+	if err := c.Register(custom); err != nil {
+		t.Fatalf("valid register: %v", err)
+	}
+	if _, err := c.Lookup("lab/custom-8B"); err != nil {
+		t.Error("registered model not found")
+	}
+}
+
+func TestCatalogNamesSortedAndComplete(t *testing.T) {
+	names := Default.Names()
+	if len(names) < 15 {
+		t.Errorf("catalog has %d models, want the §4.2 suite (15+)", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %v", i, names[i-1:i+1])
+		}
+	}
+}
+
+func TestAllBuiltinsValidate(t *testing.T) {
+	for _, name := range Default.Names() {
+		m := Default.MustLookup(name)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeIterMonotonicInBatch(t *testing.T) {
+	m := spec70B(t)
+	err := quick.Check(func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return m.DecodeIter(x, A100_40) <= m.DecodeIter(y, A100_40)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	if m.DecodeIter(0, A100_40) != m.DecodeIter(1, A100_40) {
+		t.Error("batch < 1 should clamp to 1")
+	}
+}
+
+func TestCalibration70B(t *testing.T) {
+	m := spec70B(t)
+	// Batch-1 decode ≈ 15 ms/token ⇒ 182 tokens ≈ 2.7-3.0 s.
+	single := m.DecodeIter(1, A100_40)
+	if single < 14*time.Millisecond || single > 16*time.Millisecond {
+		t.Errorf("70B batch-1 iter = %v, want ≈15ms", single)
+	}
+	// Raw saturated throughput (before steady-state prefill drag) in the
+	// calibrated band.
+	peak := m.PeakDecodeTokPerSec(A100_40)
+	if peak < 1700 || peak > 2050 {
+		t.Errorf("70B peak = %.0f tok/s, want 1700-2050", peak)
+	}
+}
+
+func TestCalibration8B(t *testing.T) {
+	m := Default.MustLookup(Llama8B)
+	peak := m.PeakDecodeTokPerSec(A100_40)
+	if peak < 3200 || peak > 3900 {
+		t.Errorf("8B peak = %.0f tok/s, want 3200-3900 (Fig. 5 band)", peak)
+	}
+}
+
+func TestLoadTimeScalesWithSize(t *testing.T) {
+	m8 := Default.MustLookup(Llama8B)
+	m70 := spec70B(t)
+	m405 := Default.MustLookup(Llama405B)
+	t8, t70, t405 := m8.LoadTime(A100_40), m70.LoadTime(A100_40), m405.LoadTime(A100_40)
+	if !(t8 < t70 && t70 < t405) {
+		t.Errorf("load times not ordered: %v %v %v", t8, t70, t405)
+	}
+	// §4.3: an 8B model "loads relatively quickly" vs a 405B model.
+	if t405 < 2*t8 {
+		t.Errorf("405B should load much slower than 8B: %v vs %v", t405, t8)
+	}
+}
+
+func TestPrefillTime(t *testing.T) {
+	m := spec70B(t)
+	if m.PrefillTime(0, A100_40) != 0 {
+		t.Error("zero prompt should cost 0")
+	}
+	if m.PrefillTime(-5, A100_40) != 0 {
+		t.Error("negative prompt should clamp to 0")
+	}
+	if m.PrefillTime(2000, A100_40) <= m.PrefillTime(100, A100_40) {
+		t.Error("prefill not monotone in prompt length")
+	}
+}
+
+func TestKVCapacityPositiveForEvalModels(t *testing.T) {
+	for _, name := range []string{Llama70B, Llama8B, Gemma27B} {
+		m := Default.MustLookup(name)
+		kv := m.KVCapacityTokens(A100_40)
+		if kv <= 0 {
+			t.Errorf("%s: KV capacity %d", name, kv)
+		}
+		// Must hold at least its max batch of modest sequences.
+		if kv < m.MaxBatch*300 {
+			t.Errorf("%s: KV capacity %d too small for batch %d", name, kv, m.MaxBatch)
+		}
+	}
+}
+
+func TestKVCapacityZeroWhenModelDoesNotFit(t *testing.T) {
+	m := spec70B(t)
+	m.TensorParallel = 1 // 140 GB of weights on one 40 GB GPU
+	if kv := m.KVCapacityTokens(A100_40); kv != 0 {
+		t.Errorf("KV capacity = %d for an impossible fit", kv)
+	}
+}
+
+func TestGPUSpeedupScaling(t *testing.T) {
+	m := spec70B(t)
+	base := m.DecodeIter(64, A100_40)
+	faster := m.DecodeIter(64, A100_80)
+	if faster >= base {
+		t.Errorf("A100-80 (speedup 1.05) not faster: %v vs %v", faster, base)
+	}
+	slower := m.DecodeIter(64, MI250)
+	if slower <= base {
+		t.Errorf("MI250 (speedup 0.85) not slower: %v vs %v", slower, base)
+	}
+}
+
+func TestEmbeddingModelSpec(t *testing.T) {
+	m := Default.MustLookup(NVEmbed)
+	if m.Kind != KindEmbedding {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	if m.EmbedDim != 4096 {
+		t.Errorf("dim = %d", m.EmbedDim)
+	}
+	if m.EmbedTime(1000, A100_40) <= m.EmbedTime(10, A100_40) {
+		t.Error("embed time not monotone")
+	}
+}
+
+func TestValidateEmbeddingRequirements(t *testing.T) {
+	m := ModelSpec{Name: "e", Kind: KindEmbedding, TensorParallel: 1}
+	if err := m.Validate(); err == nil {
+		t.Error("embedding model without dim/cost should fail validation")
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	cases := map[ModelKind]string{KindChat: "chat", KindVision: "vision", KindEmbedding: "embedding", ModelKind(99): "unknown"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestVRAMNeeded(t *testing.T) {
+	m := spec70B(t)
+	if m.VRAMNeededGB() <= m.WeightsGB {
+		t.Error("VRAM requirement should include headroom over weights")
+	}
+}

@@ -1,0 +1,310 @@
+// Package ragtool implements the §6.2 case study's retrieval substrate: a
+// FAISS-substitute vector index (exact and IVF flavors) over embeddings
+// from the gateway's /v1/embeddings endpoint, a document chunker, and a
+// Retrieval-Augmented Generation pipeline that assembles prompts from the
+// top-k passages.
+package ragtool
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/openaiapi"
+)
+
+// Doc is one indexed passage.
+type Doc struct {
+	ID     string
+	Text   string
+	Vector []float32
+}
+
+// Index is a cosine-similarity vector index. Flat search is exact; with
+// Train(nlist) it becomes an IVF index probing the nearest cells.
+type Index struct {
+	dim  int
+	docs []Doc
+
+	// IVF state (nil until Train).
+	centroids [][]float32
+	cells     [][]int
+	nprobe    int
+}
+
+// NewIndex creates an empty index for dim-dimensional vectors.
+func NewIndex(dim int) *Index {
+	return &Index{dim: dim}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Add inserts documents (invalidating any IVF training).
+func (ix *Index) Add(docs ...Doc) error {
+	for _, d := range docs {
+		if len(d.Vector) != ix.dim {
+			return fmt.Errorf("ragtool: doc %s has dim %d, index wants %d", d.ID, len(d.Vector), ix.dim)
+		}
+		ix.docs = append(ix.docs, d)
+	}
+	ix.centroids = nil
+	ix.cells = nil
+	return nil
+}
+
+// Cosine returns the cosine similarity of two vectors.
+func Cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Hit is one search result.
+type Hit struct {
+	Doc   Doc
+	Score float64
+}
+
+// Search returns the k most similar documents. Exact scan unless trained.
+func (ix *Index) Search(query []float32, k int) ([]Hit, error) {
+	if len(query) != ix.dim {
+		return nil, fmt.Errorf("ragtool: query dim %d, index wants %d", len(query), ix.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	candidates := ix.candidateIDs(query)
+	hits := make([]Hit, 0, len(candidates))
+	for _, id := range candidates {
+		d := ix.docs[id]
+		hits = append(hits, Hit{Doc: d, Score: Cosine(query, d.Vector)})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+func (ix *Index) candidateIDs(query []float32) []int {
+	if ix.centroids == nil {
+		all := make([]int, len(ix.docs))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// Probe the nprobe nearest cells.
+	type cs struct {
+		cell  int
+		score float64
+	}
+	scores := make([]cs, len(ix.centroids))
+	for c := range ix.centroids {
+		scores[c] = cs{c, Cosine(query, ix.centroids[c])}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].score > scores[j].score })
+	probe := ix.nprobe
+	if probe > len(scores) {
+		probe = len(scores)
+	}
+	var ids []int
+	for _, s := range scores[:probe] {
+		ids = append(ids, ix.cells[s.cell]...)
+	}
+	return ids
+}
+
+// Train builds an IVF structure with nlist cells via k-means (a few Lloyd
+// iterations suffice for retrieval), probing nprobe cells per query.
+func (ix *Index) Train(nlist, nprobe int) error {
+	if nlist <= 0 || nlist > len(ix.docs) {
+		return fmt.Errorf("ragtool: nlist %d invalid for %d docs", nlist, len(ix.docs))
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	// Initialize centroids from evenly spaced docs (deterministic).
+	centroids := make([][]float32, nlist)
+	for c := 0; c < nlist; c++ {
+		src := ix.docs[c*len(ix.docs)/nlist].Vector
+		centroids[c] = append([]float32(nil), src...)
+	}
+	var cells [][]int
+	for iter := 0; iter < 8; iter++ {
+		cells = make([][]int, nlist)
+		for i, d := range ix.docs {
+			best, bestScore := 0, math.Inf(-1)
+			for c := range centroids {
+				if s := Cosine(d.Vector, centroids[c]); s > bestScore {
+					best, bestScore = c, s
+				}
+			}
+			cells[best] = append(cells[best], i)
+		}
+		for c := range centroids {
+			if len(cells[c]) == 0 {
+				continue
+			}
+			mean := make([]float32, ix.dim)
+			for _, id := range cells[c] {
+				for j, v := range ix.docs[id].Vector {
+					mean[j] += v
+				}
+			}
+			n := float32(len(cells[c]))
+			for j := range mean {
+				mean[j] /= n
+			}
+			centroids[c] = mean
+		}
+	}
+	ix.centroids = centroids
+	ix.cells = cells
+	ix.nprobe = nprobe
+	return nil
+}
+
+// ChunkText splits a document into overlapping word-window chunks sized for
+// embedding (≈chunkWords words with overlap words shared between adjacent
+// chunks).
+func ChunkText(text string, chunkWords, overlap int) []string {
+	if chunkWords <= 0 {
+		chunkWords = 128
+	}
+	if overlap < 0 || overlap >= chunkWords {
+		overlap = chunkWords / 4
+	}
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return nil
+	}
+	var chunks []string
+	step := chunkWords - overlap
+	for start := 0; start < len(words); start += step {
+		end := start + chunkWords
+		if end > len(words) {
+			end = len(words)
+		}
+		chunks = append(chunks, strings.Join(words[start:end], " "))
+		if end == len(words) {
+			break
+		}
+	}
+	return chunks
+}
+
+// Pipeline is the HPC-assistant RAG flow: embed → retrieve → prompt → chat.
+type Pipeline struct {
+	gw         *client.Client
+	EmbedModel string
+	ChatModel  string
+	TopK       int
+	index      *Index
+}
+
+// NewPipeline builds a pipeline over the gateway client.
+func NewPipeline(gw *client.Client, embedModel, chatModel string, dim int) *Pipeline {
+	return &Pipeline{gw: gw, EmbedModel: embedModel, ChatModel: chatModel, TopK: 4, index: NewIndex(dim)}
+}
+
+// Index exposes the underlying vector index.
+func (p *Pipeline) Index() *Index { return p.index }
+
+// IngestDocuments chunks, embeds (via the gateway), and indexes documents.
+func (p *Pipeline) IngestDocuments(ctx context.Context, docs map[string]string) (int, error) {
+	var ids []string
+	var chunks []string
+	for id, text := range docs {
+		for i, chunk := range ChunkText(text, 128, 32) {
+			ids = append(ids, fmt.Sprintf("%s#%d", id, i))
+			chunks = append(chunks, chunk)
+		}
+	}
+	sort.Sort(byIDChunk{ids, chunks}) // deterministic ingest order
+	const batchSize = 32
+	total := 0
+	for start := 0; start < len(chunks); start += batchSize {
+		end := start + batchSize
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		resp, err := p.gw.Embeddings(ctx, openaiapi.EmbeddingRequest{Model: p.EmbedModel, Input: chunks[start:end]})
+		if err != nil {
+			return total, err
+		}
+		for i, data := range resp.Data {
+			if err := p.index.Add(Doc{ID: ids[start+i], Text: chunks[start+i], Vector: data.Embedding}); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+type byIDChunk struct {
+	ids    []string
+	chunks []string
+}
+
+func (b byIDChunk) Len() int           { return len(b.ids) }
+func (b byIDChunk) Less(i, j int) bool { return b.ids[i] < b.ids[j] }
+func (b byIDChunk) Swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.chunks[i], b.chunks[j] = b.chunks[j], b.chunks[i]
+}
+
+// Answer retrieves the most relevant passages and asks the chat model with
+// the assembled context (§6.2: "retrieves the most relevant passages and
+// incorporates them into the prompt sent to the LLM").
+func (p *Pipeline) Answer(ctx context.Context, question string) (string, []Hit, error) {
+	qResp, err := p.gw.Embeddings(ctx, openaiapi.EmbeddingRequest{Model: p.EmbedModel, Input: []string{question}})
+	if err != nil {
+		return "", nil, err
+	}
+	if len(qResp.Data) == 0 {
+		return "", nil, fmt.Errorf("ragtool: empty query embedding")
+	}
+	hits, err := p.index.Search(qResp.Data[0].Embedding, p.TopK)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	b.WriteString("Use the following HPC documentation excerpts to answer.\n\n")
+	for i, h := range hits {
+		fmt.Fprintf(&b, "[%d] (%s) %s\n", i+1, h.Doc.ID, h.Doc.Text)
+	}
+	b.WriteString("\nQuestion: ")
+	b.WriteString(question)
+	resp, err := p.gw.ChatCompletion(ctx, openaiapi.ChatCompletionRequest{
+		Model: p.ChatModel,
+		Messages: []openaiapi.Message{
+			{Role: "system", Content: "You are an HPC support assistant. Ground every answer in the provided excerpts."},
+			{Role: "user", Content: b.String()},
+		},
+		MaxTokens: 256,
+	})
+	if err != nil {
+		return "", hits, err
+	}
+	answer := ""
+	if len(resp.Choices) > 0 && resp.Choices[0].Message != nil {
+		answer = resp.Choices[0].Message.Content
+	}
+	return answer, hits, nil
+}

@@ -1,0 +1,220 @@
+package ragtool
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/serving"
+)
+
+func TestCosineProperties(t *testing.T) {
+	err := quick.Check(func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		a := make([]float32, 4)
+		b := make([]float32, 4)
+		for i := 0; i < 4; i++ {
+			a[i] = float32(raw[i%len(raw)])
+			b[i] = float32(raw[(i+1)%len(raw)])
+		}
+		c := Cosine(a, b)
+		if math.Abs(c) > 1.0001 {
+			return false
+		}
+		// cos(a,a) == 1 for non-zero a.
+		var nonZero bool
+		for _, v := range a {
+			if v != 0 {
+				nonZero = true
+			}
+		}
+		if nonZero && math.Abs(Cosine(a, a)-1) > 1e-6 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+	if Cosine([]float32{0, 0}, []float32{1, 1}) != 0 {
+		t.Error("zero vector cosine should be 0")
+	}
+}
+
+func TestIndexExactSearch(t *testing.T) {
+	ix := NewIndex(8)
+	for i := 0; i < 20; i++ {
+		v := make([]float32, 8)
+		v[i%8] = 1
+		v[(i+1)%8] = float32(i) / 20
+		if err := ix.Add(Doc{ID: fmt.Sprintf("d%d", i), Vector: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := make([]float32, 8)
+	q[3] = 1
+	hits, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Error("hits not sorted by score")
+		}
+	}
+	// The best hit must have its dominant axis at 3.
+	if hits[0].Doc.Vector[3] != 1 {
+		t.Errorf("top hit = %+v", hits[0].Doc)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	ix := NewIndex(4)
+	if err := ix.Add(Doc{ID: "bad", Vector: []float32{1, 2}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := ix.Search([]float32{1}, 3); err == nil {
+		t.Error("query dim mismatch accepted")
+	}
+	hits, err := ix.Search(make([]float32, 4), 0)
+	if err != nil || hits != nil {
+		t.Error("k=0 should return nothing")
+	}
+}
+
+func TestIVFRecallAgainstExact(t *testing.T) {
+	dim := 32
+	exact := NewIndex(dim)
+	ivf := NewIndex(dim)
+	// Clustered data: 8 clusters of 25 docs.
+	for c := 0; c < 8; c++ {
+		for i := 0; i < 25; i++ {
+			text := fmt.Sprintf("cluster%d term%d shared%d", c, i, c)
+			v := serving.PseudoEmbedding(text, dim)
+			doc := Doc{ID: fmt.Sprintf("c%d-%d", c, i), Text: text, Vector: v}
+			exact.Add(doc)
+			ivf.Add(doc)
+		}
+	}
+	if err := ivf.Train(8, 3); err != nil {
+		t.Fatal(err)
+	}
+	var overlap, total int
+	for c := 0; c < 8; c++ {
+		q := serving.PseudoEmbedding(fmt.Sprintf("cluster%d shared%d query", c, c), dim)
+		eHits, _ := exact.Search(q, 10)
+		iHits, _ := ivf.Search(q, 10)
+		want := make(map[string]bool)
+		for _, h := range eHits {
+			want[h.Doc.ID] = true
+		}
+		for _, h := range iHits {
+			if want[h.Doc.ID] {
+				overlap++
+			}
+		}
+		total += len(eHits)
+	}
+	recall := float64(overlap) / float64(total)
+	if recall < 0.6 {
+		t.Errorf("IVF recall@10 = %.2f vs exact, want ≥ 0.6", recall)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ix := NewIndex(4)
+	ix.Add(Doc{ID: "a", Vector: []float32{1, 0, 0, 0}})
+	if err := ix.Train(5, 1); err == nil {
+		t.Error("nlist > docs accepted")
+	}
+	if err := ix.Train(0, 1); err == nil {
+		t.Error("nlist 0 accepted")
+	}
+}
+
+func TestChunkTextOverlapAndCoverage(t *testing.T) {
+	words := make([]string, 500)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+	}
+	text := strings.Join(words, " ")
+	chunks := ChunkText(text, 100, 20)
+	if len(chunks) < 5 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	// Coverage: every word appears in some chunk.
+	seen := make(map[string]bool)
+	for _, c := range chunks {
+		for _, w := range strings.Fields(c) {
+			seen[w] = true
+		}
+	}
+	if len(seen) != 500 {
+		t.Errorf("coverage = %d/500 words", len(seen))
+	}
+	// Overlap: consecutive chunks share words.
+	first := strings.Fields(chunks[0])
+	second := strings.Fields(chunks[1])
+	if first[len(first)-1] != second[19] {
+		t.Errorf("overlap mismatch: %s vs %s", first[len(first)-1], second[19])
+	}
+	if got := ChunkText("", 100, 10); got != nil {
+		t.Error("empty text should produce no chunks")
+	}
+	if got := ChunkText("single", 0, -1); len(got) != 1 {
+		t.Errorf("defaults broken: %v", got)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	sys, err := core.DefaultTestbed(clock.NewScaled(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	sys.RegisterUser("rag", "rag@anl.gov")
+	grant, _ := sys.Login("rag")
+	gw := client.New("", grant.AccessToken, client.WithHandler(sys.Gateway))
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	pipe := NewPipeline(gw, perfmodel.NVEmbed, perfmodel.Llama8B, 4096)
+	docs := map[string]string{
+		"storage": strings.Repeat("scratch filesystem purge quota nvme local disk ", 20),
+		"queue":   strings.Repeat("qsub walltime queue priority backfill scheduler ", 20),
+		"gpu":     strings.Repeat("cuda nvlink tensor gpu mig devices ", 20),
+	}
+	n, err := pipe.IngestDocuments(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || pipe.Index().Len() != n {
+		t.Fatalf("ingested %d, index %d", n, pipe.Index().Len())
+	}
+	answer, hits, err := pipe.Answer(ctx, "what is the walltime limit in the queue?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answer == "" {
+		t.Error("empty answer")
+	}
+	if len(hits) == 0 {
+		t.Fatal("no retrievals")
+	}
+	if !strings.HasPrefix(hits[0].Doc.ID, "queue#") {
+		t.Errorf("top hit = %s, want a queue chunk", hits[0].Doc.ID)
+	}
+}

@@ -1,0 +1,337 @@
+// Package serving implements the Model Serving Tools layer (§3.3): a
+// vLLM-style continuous-batching generation engine, an offline batch engine,
+// an Infinity-style embedding engine, and an external cloud-API model used by
+// the Fig. 5 comparison.
+//
+// The generation engine is a pure state machine over a virtual timeline
+// (time.Duration offsets): drivers — the live goroutine loop in this package
+// or the discrete-event harness in internal/desmodel — call Step repeatedly
+// and deliver the completions it reports. Keeping the engine pure lets the
+// exact same batching logic power both the real HTTP stack and the paper's
+// figure reproductions.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+// Sequence is one generation request inside an engine.
+type Sequence struct {
+	ID        int64
+	PromptTok int
+	OutputTok int // target output length
+	Emitted   int // tokens generated so far
+
+	SubmitAt time.Duration // engine-relative submission time
+	StartAt  time.Duration // admission into the running batch
+	FinishAt time.Duration // completion time (set when done)
+
+	// Ctx carries driver-private data (e.g. the fabric task).
+	Ctx interface{}
+}
+
+// QueueWait returns how long the sequence waited before admission (clamped
+// at zero: a live driver's wall-derived submit stamp can land inside the
+// engine's current iteration).
+func (s *Sequence) QueueWait() time.Duration {
+	if s.StartAt <= s.SubmitAt {
+		return 0
+	}
+	return s.StartAt - s.SubmitAt
+}
+
+// Latency returns submission-to-completion time (valid once finished).
+func (s *Sequence) Latency() time.Duration { return s.FinishAt - s.SubmitAt }
+
+// Config configures an engine instance.
+type Config struct {
+	Model perfmodel.ModelSpec
+	GPU   perfmodel.GPUSpec
+	// MaxBatch overrides the model's max_num_seqs when > 0.
+	MaxBatch int
+	// KVCapacityTokens overrides the computed KV capacity when > 0.
+	KVCapacityTokens int
+	// MaxPrefillTokensPerIter bounds how much prompt processing one
+	// iteration absorbs (vLLM's max_num_batched_tokens); default 8192.
+	MaxPrefillTokensPerIter int
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return c.Model.MaxBatch
+}
+
+func (c Config) kvCapacity() int {
+	if c.KVCapacityTokens > 0 {
+		return c.KVCapacityTokens
+	}
+	return c.Model.KVCapacityTokens(c.GPU)
+}
+
+func (c Config) maxPrefillPerIter() int {
+	if c.MaxPrefillTokensPerIter > 0 {
+		return c.MaxPrefillTokensPerIter
+	}
+	return 8192
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Submitted     int64
+	Completed     int64
+	Aborted       int64
+	OutputTokens  int64
+	PrefillTokens int64
+	Iterations    int64
+	BusyTime      time.Duration
+	PeakBatch     int
+	KVRejections  int64 // admissions deferred for KV headroom
+}
+
+// StepResult reports what one engine iteration did.
+type StepResult struct {
+	// Duration of the iteration; zero when the engine is idle.
+	Duration time.Duration
+	// Busy is false when there was nothing to do.
+	Busy bool
+	// Completed sequences finished at the end of this iteration, with
+	// FinishAt already stamped.
+	Completed []*Sequence
+	// EmittedTokens is the number of output tokens produced this iteration.
+	EmittedTokens int
+}
+
+// Engine is a continuous-batching generation engine for one model instance.
+// It is not safe for concurrent use; drivers serialize access.
+type Engine struct {
+	cfg     Config
+	nextID  int64
+	now     time.Duration
+	waiting []*Sequence
+	running []*Sequence
+	// kvUsed tracks actual KV occupancy; kvReserved additionally holds the
+	// full prompt+output reservation of every running sequence so admission
+	// can never let the batch grow past capacity mid-flight. (vLLM admits
+	// optimistically and preempts; we admit conservatively, which preserves
+	// the same steady-state batching behaviour without a recompute path.)
+	kvUsed     int
+	kvReserved int
+	kvCap      int
+	stats      Stats
+	// lastBusy is the last time the engine had work; hot-node reapers use it.
+	lastBusy time.Duration
+}
+
+// ErrClosed is returned by Submit after the driver marked the engine closed.
+var ErrClosed = errors.New("serving: engine closed")
+
+// NewEngine validates the config and returns an idle engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model.Kind == perfmodel.KindEmbedding {
+		return nil, fmt.Errorf("serving: %s is an embedding model; use EmbedEngine", cfg.Model.Name)
+	}
+	kv := cfg.kvCapacity()
+	if kv <= 0 {
+		return nil, fmt.Errorf("serving: %s does not fit on %d×%s (no KV room)",
+			cfg.Model.Name, cfg.Model.TensorParallel, cfg.GPU.Name)
+	}
+	return &Engine{cfg: cfg, kvCap: kv}, nil
+}
+
+// Model returns the configured model spec.
+func (e *Engine) Model() perfmodel.ModelSpec { return e.cfg.Model }
+
+// Now returns the engine's current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Stats returns a copy of the accumulated stats.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Depth returns waiting+running sequence count (least-loaded routing input).
+func (e *Engine) Depth() int { return len(e.waiting) + len(e.running) }
+
+// RunningBatch returns the current running batch size.
+func (e *Engine) RunningBatch() int { return len(e.running) }
+
+// WaitingCount returns the number of queued (unadmitted) sequences.
+func (e *Engine) WaitingCount() int { return len(e.waiting) }
+
+// KVUsedTokens returns current KV occupancy in tokens.
+func (e *Engine) KVUsedTokens() int { return e.kvUsed }
+
+// KVCapacity returns the KV capacity in tokens.
+func (e *Engine) KVCapacity() int { return e.kvCap }
+
+// LastBusyAt returns the last time the engine had active work.
+func (e *Engine) LastBusyAt() time.Duration { return e.lastBusy }
+
+// Submit enqueues a request at time now and returns its sequence. The driver
+// must ensure now is monotonically consistent with prior calls. Engine time
+// only fast-forwards to now when the engine is idle — a busy engine's
+// iteration pacing is never disturbed by arrivals (live drivers may call
+// with a wall-derived now slightly ahead of the engine's timeline).
+func (e *Engine) Submit(now time.Duration, promptTok, outputTok int, ctx interface{}) *Sequence {
+	if now > e.now && len(e.running) == 0 && len(e.waiting) == 0 {
+		e.now = now
+	}
+	if promptTok < 1 {
+		promptTok = 1
+	}
+	if outputTok < 1 {
+		outputTok = 1
+	}
+	e.nextID++
+	submitAt := now
+	if submitAt < 0 {
+		submitAt = 0
+	}
+	seq := &Sequence{
+		ID:        e.nextID,
+		PromptTok: promptTok,
+		OutputTok: outputTok,
+		SubmitAt:  submitAt,
+		Ctx:       ctx,
+	}
+	e.waiting = append(e.waiting, seq)
+	e.stats.Submitted++
+	if e.now > e.lastBusy {
+		e.lastBusy = e.now
+	}
+	if now > e.lastBusy {
+		e.lastBusy = now
+	}
+	return seq
+}
+
+// Step advances the engine by one iteration starting at virtual time now.
+// The iteration spans [now, now+Duration]; completions are stamped at its
+// end. When there is no work, Busy is false and the driver should sleep
+// until the next Submit.
+func (e *Engine) Step(now time.Duration) StepResult {
+	if now > e.now {
+		e.now = now
+	}
+	prefillTok := e.admit()
+	if len(e.running) == 0 {
+		return StepResult{}
+	}
+
+	iter := e.cfg.Model.DecodeIter(len(e.running), e.cfg.GPU)
+	if prefillTok > 0 {
+		iter += e.cfg.Model.PrefillTime(prefillTok, e.cfg.GPU)
+	}
+	end := e.now + iter
+
+	res := StepResult{Duration: iter, Busy: true, EmittedTokens: len(e.running)}
+	kept := e.running[:0]
+	for _, seq := range e.running {
+		seq.Emitted++
+		e.kvUsed++
+		if seq.Emitted >= seq.OutputTok {
+			seq.FinishAt = end
+			e.kvUsed -= seq.PromptTok + seq.Emitted
+			e.kvReserved -= seq.PromptTok + seq.OutputTok
+			res.Completed = append(res.Completed, seq)
+			e.stats.Completed++
+			e.stats.OutputTokens += int64(seq.Emitted)
+		} else {
+			kept = append(kept, seq)
+		}
+	}
+	e.running = kept
+
+	e.stats.Iterations++
+	e.stats.BusyTime += iter
+	if len(e.running) > e.stats.PeakBatch {
+		e.stats.PeakBatch = len(e.running)
+	}
+	e.now = end
+	e.lastBusy = end
+	return res
+}
+
+// admit moves waiting sequences into the running batch subject to the batch
+// cap, the per-iteration prefill budget, and KV headroom. It returns the
+// total prompt tokens admitted this iteration.
+func (e *Engine) admit() int {
+	budget := e.cfg.maxPrefillPerIter()
+	maxBatch := e.cfg.maxBatch()
+	var admittedPrefill int
+	for len(e.waiting) > 0 && len(e.running) < maxBatch {
+		seq := e.waiting[0]
+		if admittedPrefill > 0 && admittedPrefill+seq.PromptTok > budget {
+			break // prefill budget exhausted this iteration
+		}
+		// Require room for the prompt plus a full generation reservation so
+		// running sequences never overflow KV mid-flight.
+		need := seq.PromptTok + seq.OutputTok
+		if e.kvReserved+need > e.kvCap {
+			e.stats.KVRejections++
+			break
+		}
+		e.kvReserved += need
+		e.kvUsed += seq.PromptTok
+		seq.StartAt = e.now
+		e.running = append(e.running, seq)
+		e.waiting = e.waiting[1:]
+		admittedPrefill += seq.PromptTok
+		e.stats.PrefillTokens += int64(seq.PromptTok)
+	}
+	if len(e.running) > e.stats.PeakBatch {
+		e.stats.PeakBatch = len(e.running)
+	}
+	return admittedPrefill
+}
+
+// Abort removes a waiting sequence (e.g. client disconnect). It returns true
+// if the sequence was found in the waiting queue; running sequences cannot
+// be aborted mid-iteration.
+func (e *Engine) Abort(id int64) bool {
+	for i, s := range e.waiting {
+		if s.ID == id {
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			e.stats.Aborted++
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants validates internal accounting; tests call this after
+// random operation sequences.
+func (e *Engine) CheckInvariants() error {
+	if e.kvUsed < 0 {
+		return fmt.Errorf("serving: negative KV usage %d", e.kvUsed)
+	}
+	if e.kvUsed > e.kvReserved {
+		return fmt.Errorf("serving: KV usage %d exceeds reservation %d", e.kvUsed, e.kvReserved)
+	}
+	if e.kvReserved > e.kvCap {
+		return fmt.Errorf("serving: KV reservation over capacity: %d > %d", e.kvReserved, e.kvCap)
+	}
+	if len(e.running) > e.cfg.maxBatch() {
+		return fmt.Errorf("serving: batch %d exceeds cap %d", len(e.running), e.cfg.maxBatch())
+	}
+	inFlight := int64(len(e.running) + len(e.waiting))
+	if e.stats.Submitted != e.stats.Completed+e.stats.Aborted+inFlight {
+		return fmt.Errorf("serving: sequence conservation violated: submitted=%d completed=%d aborted=%d inflight=%d",
+			e.stats.Submitted, e.stats.Completed, e.stats.Aborted, inFlight)
+	}
+	var kv int
+	for _, s := range e.running {
+		kv += s.PromptTok + s.Emitted
+	}
+	if kv != e.kvUsed {
+		return fmt.Errorf("serving: KV accounting drift: computed=%d tracked=%d", kv, e.kvUsed)
+	}
+	return nil
+}

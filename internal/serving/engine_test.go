@@ -1,0 +1,265 @@
+package serving
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+func newTestEngine(t *testing.T, model string, maxBatch int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(Config{
+		Model:    perfmodel.Default.MustLookup(model),
+		GPU:      perfmodel.A100_40,
+		MaxBatch: maxBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// drain steps the engine to completion, returning all finished sequences.
+func drain(eng *Engine) []*Sequence {
+	var done []*Sequence
+	now := eng.Now()
+	for {
+		res := eng.Step(now)
+		if !res.Busy {
+			return done
+		}
+		now += res.Duration
+		done = append(done, res.Completed...)
+	}
+}
+
+func TestEngineSingleSequenceTiming(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama70B, 0)
+	spec := eng.Model()
+	seq := eng.Submit(0, 220, 182, nil)
+	done := drain(eng)
+	if len(done) != 1 || done[0] != seq {
+		t.Fatalf("drained %d sequences", len(done))
+	}
+	// Analytic latency: prefill(220) once + 182 batch-1 decode iterations.
+	want := spec.PrefillTime(220, perfmodel.A100_40) +
+		182*spec.DecodeIter(1, perfmodel.A100_40)
+	got := seq.Latency()
+	if math.Abs(got.Seconds()-want.Seconds()) > 0.01 {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+	if got < 2700*time.Millisecond || got > 3100*time.Millisecond {
+		t.Errorf("70B single-request latency = %v, want ≈2.9s (Fig. 3 anchor)", got)
+	}
+}
+
+func TestEngineBatchThroughputCalibration(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama70B, 0)
+	// Saturate: 600 identical sequences.
+	for i := 0; i < 600; i++ {
+		eng.Submit(0, 220, 182, nil)
+	}
+	done := drain(eng)
+	if len(done) != 600 {
+		t.Fatalf("completed %d/600", len(done))
+	}
+	tokPerSec := float64(600*182) / eng.Now().Seconds()
+	// Fig. 3 anchor: ≈1677 tok/s saturated (allow the ramp/drain band).
+	if tokPerSec < 1450 || tokPerSec > 1900 {
+		t.Errorf("saturated throughput = %.0f tok/s, want ≈1500-1900", tokPerSec)
+	}
+	if st := eng.Stats(); st.PeakBatch != 256 {
+		t.Errorf("peak batch = %d, want 256", st.PeakBatch)
+	}
+}
+
+func TestEngineConservationProperty(t *testing.T) {
+	// Random interleavings of submit/step/abort preserve sequence and KV
+	// accounting.
+	err := quick.Check(func(ops []uint16) bool {
+		eng := newTestEngine(t, perfmodel.Llama8B, 16)
+		now := time.Duration(0)
+		var ids []int64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				seq := eng.Submit(now, int(op%512)+1, int(op%300)+1, nil)
+				ids = append(ids, seq.ID)
+			case 2:
+				res := eng.Step(now)
+				now += res.Duration
+			case 3:
+				if len(ids) > 0 {
+					eng.Abort(ids[int(op)%len(ids)])
+				}
+			}
+			if err := eng.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		drain(eng)
+		return eng.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineAllSubmittedComplete(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 0)
+	const n = 300
+	for i := 0; i < n; i++ {
+		eng.Submit(0, 50+i%400, 20+i%200, nil)
+	}
+	done := drain(eng)
+	if len(done) != n {
+		t.Fatalf("completed %d/%d", len(done), n)
+	}
+	st := eng.Stats()
+	if st.Completed != n || st.Submitted != n {
+		t.Errorf("stats: %+v", st)
+	}
+	if eng.KVUsedTokens() != 0 {
+		t.Errorf("KV not drained: %d", eng.KVUsedTokens())
+	}
+}
+
+func TestEngineRespectsMaxBatch(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 8)
+	for i := 0; i < 100; i++ {
+		eng.Submit(0, 10, 50, nil)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		res := eng.Step(now)
+		if !res.Busy {
+			break
+		}
+		now += res.Duration
+		if eng.RunningBatch() > 8 {
+			t.Fatalf("batch %d exceeds cap 8", eng.RunningBatch())
+		}
+	}
+}
+
+func TestEngineKVAdmissionControl(t *testing.T) {
+	spec := perfmodel.Default.MustLookup(perfmodel.Llama8B)
+	eng, err := NewEngine(Config{
+		Model:            spec,
+		GPU:              perfmodel.A100_40,
+		KVCapacityTokens: 2000, // tiny KV: only a couple of sequences fit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		eng.Submit(0, 500, 400, nil) // 900 reserved tokens each
+	}
+	res := eng.Step(0)
+	if !res.Busy {
+		t.Fatal("engine should run")
+	}
+	if eng.RunningBatch() > 2 {
+		t.Errorf("admitted %d sequences into 2000-token KV", eng.RunningBatch())
+	}
+	if eng.Stats().KVRejections == 0 {
+		t.Error("expected KV admission rejections")
+	}
+	done := drain(eng)
+	if len(done) != 10 {
+		t.Errorf("eventually completed %d/10", len(done))
+	}
+}
+
+func TestEngineAbort(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 4)
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		ids = append(ids, eng.Submit(0, 10, 100, nil).ID)
+	}
+	eng.Step(0) // admits 4; 4 waiting
+	if !eng.Abort(ids[7]) {
+		t.Error("aborting waiting sequence should succeed")
+	}
+	if eng.Abort(ids[0]) {
+		t.Error("aborting running sequence should fail")
+	}
+	if eng.Abort(999999) {
+		t.Error("aborting unknown id should fail")
+	}
+	done := drain(eng)
+	if len(done) != 7 {
+		t.Errorf("completed %d, want 7 after abort", len(done))
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineRejectsEmbeddingModel(t *testing.T) {
+	_, err := NewEngine(Config{
+		Model: perfmodel.Default.MustLookup(perfmodel.NVEmbed),
+		GPU:   perfmodel.A100_40,
+	})
+	if err == nil {
+		t.Error("embedding model should be rejected")
+	}
+}
+
+func TestEngineRejectsImpossibleFit(t *testing.T) {
+	spec := perfmodel.Default.MustLookup(perfmodel.Llama70B)
+	spec.TensorParallel = 1
+	_, err := NewEngine(Config{Model: spec, GPU: perfmodel.A100_40})
+	if err == nil {
+		t.Error("70B on one 40GB GPU should be rejected")
+	}
+}
+
+func TestEngineIdleStep(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 0)
+	res := eng.Step(5 * time.Second)
+	if res.Busy || res.Duration != 0 || len(res.Completed) != 0 {
+		t.Errorf("idle step = %+v", res)
+	}
+	if eng.Now() != 5*time.Second {
+		t.Errorf("idle step should still advance engine time: %v", eng.Now())
+	}
+}
+
+func TestEngineQueueWaitAccounting(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 1)
+	first := eng.Submit(0, 10, 10, nil)
+	second := eng.Submit(0, 10, 10, nil)
+	drain(eng)
+	if first.QueueWait() != 0 {
+		t.Errorf("first queue wait = %v, want 0", first.QueueWait())
+	}
+	if second.QueueWait() <= 0 {
+		t.Errorf("second queue wait = %v, want > 0 (batch cap 1)", second.QueueWait())
+	}
+	if second.FinishAt <= first.FinishAt {
+		t.Error("FIFO violated")
+	}
+}
+
+func TestEnginePrefillBudgetSpreadsAdmission(t *testing.T) {
+	spec := perfmodel.Default.MustLookup(perfmodel.Llama8B)
+	eng, err := NewEngine(Config{
+		Model: spec, GPU: perfmodel.A100_40,
+		MaxPrefillTokensPerIter: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		eng.Submit(0, 600, 50, nil) // 600-token prompts vs 1000-token budget
+	}
+	eng.Step(0)
+	if got := eng.RunningBatch(); got != 1 {
+		t.Errorf("first iteration admitted %d, want 1 (600 then 1200 > budget)", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Package sim provides a deterministic discrete-event simulation kernel used
+// to regenerate the paper's evaluation on virtual time: events are ordered by
+// (time, sequence number) so identical seeds always produce identical runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time measured from the start of the run.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Processed counts executed events (for diagnostics and loop guards).
+	Processed uint64
+	// MaxEvents aborts the run if exceeded (guards against runaway models);
+	// zero means no limit.
+	MaxEvents uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn after delay. Negative delays are clamped to zero (the
+// event still sorts after already-scheduled events at the same instant).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// At runs fn at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	k.Schedule(t-k.now, fn)
+}
+
+// Stop halts the run loop after the current event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return k.events.Len() }
+
+// Run executes events until the queue empties, Stop is called, or the next
+// event would exceed until (until <= 0 means run to exhaustion). It returns
+// the virtual time at which the run ended.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for k.events.Len() > 0 && !k.stopped {
+		ev := k.events[0]
+		if until > 0 && ev.at > until {
+			k.now = until
+			return k.now
+		}
+		heap.Pop(&k.events)
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		k.Processed++
+		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
+			panic(fmt.Sprintf("sim: event budget exceeded (%d events at t=%v)", k.Processed, k.now))
+		}
+		ev.fn()
+	}
+	if until > 0 && k.now < until && k.events.Len() == 0 {
+		k.now = until
+	}
+	return k.now
+}
+
+// Seconds converts a float seconds value to virtual time.
+func Seconds(s float64) Time {
+	if math.IsInf(s, 1) || s > 1e12 {
+		return math.MaxInt64 / 4
+	}
+	return Time(s * float64(time.Second))
+}
+
+// Sec converts a virtual time to float seconds.
+func Sec(t Time) float64 { return t.Seconds() }

@@ -1,0 +1,466 @@
+// Package store is the PostgreSQL substitute backing the Inference Gateway
+// (§3.1): it persists user activity logs, user records, batch jobs, and chat
+// sessions in typed in-memory tables with optional JSON-lines snapshots on
+// disk. The aggregate queries feed the dashboard's summary metrics (the
+// paper's headline "8.7 million requests / 76 users / 10 billion tokens"
+// counters).
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RequestKind classifies logged requests.
+type RequestKind string
+
+// Request kinds.
+const (
+	KindChat       RequestKind = "chat"
+	KindCompletion RequestKind = "completion"
+	KindEmbedding  RequestKind = "embedding"
+	KindBatch      RequestKind = "batch"
+)
+
+// RequestLog is one logged API request (§3.1.1: "logging all user
+// activities in the PostgreSQL database").
+type RequestLog struct {
+	ID        int64         `json:"id"`
+	User      string        `json:"user"`
+	Model     string        `json:"model"`
+	Endpoint  string        `json:"endpoint"`
+	Cluster   string        `json:"cluster"`
+	Kind      RequestKind   `json:"kind"`
+	PromptTok int           `json:"prompt_tokens"`
+	OutputTok int           `json:"output_tokens"`
+	Latency   time.Duration `json:"latency_ns"`
+	Status    string        `json:"status"`
+	CreatedAt time.Time     `json:"created_at"`
+}
+
+// User is a registered platform user.
+type User struct {
+	Sub       string    `json:"sub"`
+	Username  string    `json:"username"`
+	FirstSeen time.Time `json:"first_seen"`
+	Requests  int64     `json:"requests"`
+	Tokens    int64     `json:"tokens"`
+}
+
+// BatchState tracks a batch job through its lifecycle (§4.4).
+type BatchState string
+
+// Batch states.
+const (
+	BatchValidating BatchState = "validating"
+	BatchQueued     BatchState = "queued"
+	BatchInProgress BatchState = "in_progress"
+	BatchCompleted  BatchState = "completed"
+	BatchFailed     BatchState = "failed"
+	BatchCancelled  BatchState = "cancelled"
+)
+
+// Batch is a stored batch job record.
+type Batch struct {
+	ID           string     `json:"id"`
+	User         string     `json:"user"`
+	Model        string     `json:"model"`
+	Endpoint     string     `json:"endpoint"`
+	State        BatchState `json:"state"`
+	Total        int        `json:"total"`
+	Completed    int        `json:"completed"`
+	OutputTokens int64      `json:"output_tokens"`
+	Error        string     `json:"error,omitempty"`
+	CreatedAt    time.Time  `json:"created_at"`
+	StartedAt    time.Time  `json:"started_at,omitempty"`
+	FinishedAt   time.Time  `json:"finished_at,omitempty"`
+}
+
+// Session is a WebUI chat session record (§4.7).
+type Session struct {
+	ID        string    `json:"id"`
+	User      string    `json:"user"`
+	Title     string    `json:"title"`
+	Models    []string  `json:"models"`
+	CreatedAt time.Time `json:"created_at"`
+	UpdatedAt time.Time `json:"updated_at"`
+	Turns     int       `json:"turns"`
+}
+
+// Store is the database.
+type Store struct {
+	mu       sync.Mutex
+	nextLog  int64
+	logs     []RequestLog
+	users    map[string]*User
+	batches  map[string]*Batch
+	sessions map[string]*Session
+	// maxLogs bounds the retained log window (older entries are summarized
+	// into totals, like a rolled-up partition).
+	maxLogs       int
+	rolledReqs    int64
+	rolledTokens  int64
+	rolledByModel map[string]int64
+}
+
+// New returns an empty store retaining up to maxLogs recent request rows
+// (0 = default 100000).
+func New(maxLogs int) *Store {
+	if maxLogs <= 0 {
+		maxLogs = 100000
+	}
+	return &Store{
+		users:         make(map[string]*User),
+		batches:       make(map[string]*Batch),
+		sessions:      make(map[string]*Session),
+		maxLogs:       maxLogs,
+		rolledByModel: make(map[string]int64),
+	}
+}
+
+// LogRequest appends a request row and updates the user's aggregates.
+func (s *Store) LogRequest(r RequestLog) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextLog++
+	r.ID = s.nextLog
+	s.logs = append(s.logs, r)
+	if len(s.logs) > s.maxLogs {
+		drop := s.logs[0]
+		s.logs = s.logs[1:]
+		s.rolledReqs++
+		s.rolledTokens += int64(drop.OutputTok)
+		s.rolledByModel[drop.Model]++
+	}
+	u, ok := s.users[r.User]
+	if !ok {
+		u = &User{Sub: r.User, Username: r.User, FirstSeen: r.CreatedAt}
+		s.users[r.User] = u
+	}
+	u.Requests++
+	u.Tokens += int64(r.OutputTok)
+	return r.ID
+}
+
+// EnsureUser registers a user record (login path).
+func (s *Store) EnsureUser(sub, username string, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[sub]; !ok {
+		s.users[sub] = &User{Sub: sub, Username: username, FirstSeen: at}
+	}
+}
+
+// RecentRequests returns up to n newest request rows, newest first.
+func (s *Store) RecentRequests(n int) []RequestLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.logs) {
+		n = len(s.logs)
+	}
+	out := make([]RequestLog, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.logs[len(s.logs)-1-i]
+	}
+	return out
+}
+
+// UserCount returns the number of distinct users seen.
+func (s *Store) UserCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.users)
+}
+
+// Totals aggregates platform counters for the dashboard.
+type Totals struct {
+	Requests     int64            `json:"requests"`
+	OutputTokens int64            `json:"output_tokens"`
+	Users        int              `json:"users"`
+	ByModel      map[string]int64 `json:"requests_by_model"`
+	ByKind       map[string]int64 `json:"requests_by_kind"`
+}
+
+// Totals computes aggregate statistics over all logged traffic.
+func (s *Store) Totals() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := Totals{
+		Requests:     s.rolledReqs + int64(len(s.logs)),
+		OutputTokens: s.rolledTokens,
+		Users:        len(s.users),
+		ByModel:      make(map[string]int64),
+		ByKind:       make(map[string]int64),
+	}
+	for m, n := range s.rolledByModel {
+		t.ByModel[m] = n
+	}
+	for _, r := range s.logs {
+		t.OutputTokens += int64(r.OutputTok)
+		t.ByModel[r.Model]++
+		t.ByKind[string(r.Kind)]++
+	}
+	return t
+}
+
+// PutBatch inserts or updates a batch record.
+func (s *Store) PutBatch(b Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := b
+	s.batches[b.ID] = &cp
+}
+
+// UpdateBatch applies fn to a batch record under the store lock.
+func (s *Store) UpdateBatch(id string, fn func(*Batch)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	if !ok {
+		return false
+	}
+	fn(b)
+	return true
+}
+
+// GetBatch fetches a batch record.
+func (s *Store) GetBatch(id string) (Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	if !ok {
+		return Batch{}, false
+	}
+	return *b, true
+}
+
+// ListBatches returns all batches for a user (all users when sub == ""),
+// newest first.
+func (s *Store) ListBatches(sub string) []Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Batch
+	for _, b := range s.batches {
+		if sub == "" || b.User == sub {
+			out = append(out, *b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.After(out[j].CreatedAt) })
+	return out
+}
+
+// PutSession inserts or updates a chat session.
+func (s *Store) PutSession(sess Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := sess
+	s.sessions[sess.ID] = &cp
+}
+
+// GetSession fetches a session.
+func (s *Store) GetSession(id string) (Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return Session{}, false
+	}
+	return *sess, true
+}
+
+// ListSessions returns a user's sessions, most recently updated first.
+func (s *Store) ListSessions(sub string) []Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Session
+	for _, sess := range s.sessions {
+		if sub == "" || sess.User == sub {
+			out = append(out, *sess)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpdatedAt.After(out[j].UpdatedAt) })
+	return out
+}
+
+// snapshot is the on-disk format.
+type snapshot struct {
+	Logs     []RequestLog `json:"logs"`
+	Users    []User       `json:"users"`
+	Batches  []Batch      `json:"batches"`
+	Sessions []Session    `json:"sessions"`
+}
+
+// Save writes a JSONL snapshot (one table per file) under dir.
+func (s *Store) Save(dir string) error {
+	s.mu.Lock()
+	snap := snapshot{Logs: append([]RequestLog(nil), s.logs...)}
+	for _, u := range s.users {
+		snap.Users = append(snap.Users, *u)
+	}
+	for _, b := range s.batches {
+		snap.Batches = append(snap.Batches, *b)
+	}
+	for _, sess := range s.sessions {
+		snap.Sessions = append(snap.Sessions, *sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].Sub < snap.Users[j].Sub })
+	sort.Slice(snap.Batches, func(i, j int) bool { return snap.Batches[i].ID < snap.Batches[j].ID })
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ID < snap.Sessions[j].ID })
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, "requests.jsonl"), snap.Logs); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, "users.jsonl"), snap.Users); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, "batches.jsonl"), snap.Batches); err != nil {
+		return err
+	}
+	return writeJSONL(filepath.Join(dir, "sessions.jsonl"), snap.Sessions)
+}
+
+// Load restores a snapshot previously written by Save. Missing files are
+// treated as empty tables.
+func (s *Store) Load(dir string) error {
+	var logs []RequestLog
+	if err := readJSONL(filepath.Join(dir, "requests.jsonl"), func(raw []byte) error {
+		var r RequestLog
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		logs = append(logs, r)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var users []User
+	if err := readJSONL(filepath.Join(dir, "users.jsonl"), func(raw []byte) error {
+		var u User
+		if err := json.Unmarshal(raw, &u); err != nil {
+			return err
+		}
+		users = append(users, u)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var batches []Batch
+	if err := readJSONL(filepath.Join(dir, "batches.jsonl"), func(raw []byte) error {
+		var b Batch
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return err
+		}
+		batches = append(batches, b)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var sessions []Session
+	if err := readJSONL(filepath.Join(dir, "sessions.jsonl"), func(raw []byte) error {
+		var sess Session
+		if err := json.Unmarshal(raw, &sess); err != nil {
+			return err
+		}
+		sessions = append(sessions, sess)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logs = logs
+	for _, r := range logs {
+		if r.ID > s.nextLog {
+			s.nextLog = r.ID
+		}
+	}
+	s.users = make(map[string]*User, len(users))
+	for i := range users {
+		u := users[i]
+		s.users[u.Sub] = &u
+	}
+	s.batches = make(map[string]*Batch, len(batches))
+	for i := range batches {
+		b := batches[i]
+		s.batches[b.ID] = &b
+	}
+	s.sessions = make(map[string]*Session, len(sessions))
+	for i := range sessions {
+		sess := sessions[i]
+		s.sessions[sess.ID] = &sess
+	}
+	return nil
+}
+
+func writeJSONL(path string, rows interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	switch typed := rows.(type) {
+	case []RequestLog:
+		for _, r := range typed {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+	case []User:
+		for _, r := range typed {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+	case []Batch:
+		for _, r := range typed {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+	case []Session:
+		for _, r := range typed {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("store: unsupported row type %T", rows)
+	}
+	return w.Flush()
+}
+
+func readJSONL(path string, each func([]byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := each(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

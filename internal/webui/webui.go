@@ -1,0 +1,223 @@
+// Package webui implements the interactive chat backend of §4.7: an Open
+// WebUI-style service in front of the gateway that authenticates through
+// the same Globus-style tokens, persists sessions and chat histories,
+// offers a model dropdown backed by /v1/models, multi-column comparisons
+// across models, adjustable OpenAI parameters, and streaming relays. The
+// closed-loop session driver used by the Table 1 benchmark lives in
+// internal/experiments; this package is the live backend it models.
+package webui
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/store"
+)
+
+// Turn is one exchange in a chat history.
+type Turn struct {
+	Role    string    `json:"role"`
+	Content string    `json:"content"`
+	Model   string    `json:"model,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// ChatSession is a live session with full history (WebUI resends the whole
+// conversation to the gateway on each turn, which is why long sessions get
+// progressively heavier — the effect measured in Table 1).
+type ChatSession struct {
+	ID     string
+	User   string
+	Models []string // one column per model in compare mode
+
+	mu      sync.Mutex
+	history []Turn
+	params  openaiapi.ChatCompletionRequest // parameter template (temperature, max_tokens, ...)
+}
+
+// History returns a copy of the transcript.
+func (s *ChatSession) History() []Turn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Turn(nil), s.history...)
+}
+
+// Backend is the WebUI server core.
+type Backend struct {
+	gw  *client.Client
+	clk clock.Clock
+	st  *store.Store
+
+	mu       sync.Mutex
+	sessions map[string]*ChatSession
+	nextID   int64
+}
+
+// New builds a backend talking to the gateway through the client SDK with
+// the user's forwarded token (§4.7: "All user requests, along with the
+// access tokens ... are forwarded to our Gateway API").
+func New(gw *client.Client, clk clock.Clock, st *store.Store) *Backend {
+	return &Backend{gw: gw, clk: clk, st: st, sessions: make(map[string]*ChatSession)}
+}
+
+// Models returns the dropdown list: models currently running on the
+// backend, via /jobs.
+func (b *Backend) Models(ctx context.Context) ([]string, error) {
+	jobs, err := b.gw.Jobs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var running []string
+	for _, m := range jobs.Models {
+		if m.State == "running" && !seen[m.Model] {
+			seen[m.Model] = true
+			running = append(running, m.Model)
+		}
+	}
+	return running, nil
+}
+
+// NewSession opens a chat session over one or more models (multiple models
+// = the multi-column comparison layout).
+func (b *Backend) NewSession(user string, models ...string) (*ChatSession, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("webui: session needs at least one model")
+	}
+	b.mu.Lock()
+	b.nextID++
+	id := fmt.Sprintf("sess-%06d", b.nextID)
+	sess := &ChatSession{ID: id, User: user, Models: models}
+	b.sessions[id] = sess
+	b.mu.Unlock()
+	if b.st != nil {
+		b.st.PutSession(store.Session{
+			ID: id, User: user, Models: models,
+			CreatedAt: b.clk.Now(), UpdatedAt: b.clk.Now(),
+		})
+	}
+	return sess, nil
+}
+
+// Session fetches a live session.
+func (b *Backend) Session(id string) (*ChatSession, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[id]
+	return s, ok
+}
+
+// SetParams adjusts the session's OpenAI-compatible parameters.
+func (b *Backend) SetParams(sess *ChatSession, maxTokens int, temperature float64) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.params.MaxTokens = maxTokens
+	sess.params.Temperature = temperature
+}
+
+// Reply is one model's answer in a (possibly multi-column) turn.
+type Reply struct {
+	Model   string
+	Content string
+	Usage   openaiapi.Usage
+	Err     error
+}
+
+// Send appends the user turn, fans the full history out to every model in
+// the session concurrently, records the replies, and returns them in the
+// session's model order.
+func (b *Backend) Send(ctx context.Context, sess *ChatSession, text string) ([]Reply, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, fmt.Errorf("webui: empty message")
+	}
+	sess.mu.Lock()
+	sess.history = append(sess.history, Turn{Role: "user", Content: text, At: b.clk.Now()})
+	messages := make([]openaiapi.Message, 0, len(sess.history))
+	for _, t := range sess.history {
+		if t.Model == "" || len(sess.Models) == 1 {
+			messages = append(messages, openaiapi.Message{Role: t.Role, Content: t.Content})
+		} else if t.Model == sess.Models[0] {
+			// Compare mode keeps the transcript linear using the first
+			// column's replies as canonical context.
+			messages = append(messages, openaiapi.Message{Role: t.Role, Content: t.Content})
+		}
+	}
+	params := sess.params
+	models := sess.Models
+	sess.mu.Unlock()
+
+	replies := make([]Reply, len(models))
+	var wg sync.WaitGroup
+	for i, model := range models {
+		wg.Add(1)
+		go func(i int, model string) {
+			defer wg.Done()
+			req := openaiapi.ChatCompletionRequest{
+				Model:       model,
+				Messages:    messages,
+				MaxTokens:   params.MaxTokens,
+				Temperature: params.Temperature,
+			}
+			resp, err := b.gw.ChatCompletion(ctx, req)
+			if err != nil {
+				replies[i] = Reply{Model: model, Err: err}
+				return
+			}
+			content := ""
+			if len(resp.Choices) > 0 && resp.Choices[0].Message != nil {
+				content = resp.Choices[0].Message.Content
+			}
+			replies[i] = Reply{Model: model, Content: content, Usage: resp.Usage}
+		}(i, model)
+	}
+	wg.Wait()
+
+	sess.mu.Lock()
+	for _, r := range replies {
+		if r.Err == nil {
+			sess.history = append(sess.history, Turn{Role: "assistant", Model: r.Model, Content: r.Content, At: b.clk.Now()})
+		}
+	}
+	turns := len(sess.history)
+	sess.mu.Unlock()
+	if b.st != nil {
+		b.st.PutSession(store.Session{
+			ID: sess.ID, User: sess.User, Models: models,
+			UpdatedAt: b.clk.Now(), Turns: turns,
+		})
+	}
+	return replies, nil
+}
+
+// Stream sends a turn to the session's first model with SSE streaming,
+// invoking onDelta per chunk, and appends the reply to the history.
+func (b *Backend) Stream(ctx context.Context, sess *ChatSession, text string, onDelta func(string)) (string, error) {
+	sess.mu.Lock()
+	sess.history = append(sess.history, Turn{Role: "user", Content: text, At: b.clk.Now()})
+	messages := make([]openaiapi.Message, 0, len(sess.history))
+	for _, t := range sess.history {
+		messages = append(messages, openaiapi.Message{Role: t.Role, Content: t.Content})
+	}
+	model := sess.Models[0]
+	params := sess.params
+	sess.mu.Unlock()
+
+	full, err := b.gw.ChatCompletionStream(ctx, openaiapi.ChatCompletionRequest{
+		Model:     model,
+		Messages:  messages,
+		MaxTokens: params.MaxTokens,
+	}, onDelta)
+	if err != nil {
+		return "", err
+	}
+	sess.mu.Lock()
+	sess.history = append(sess.history, Turn{Role: "assistant", Model: model, Content: full, At: b.clk.Now()})
+	sess.mu.Unlock()
+	return full, nil
+}

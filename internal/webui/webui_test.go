@@ -1,0 +1,174 @@
+package webui
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+func newBackend(t *testing.T) (*Backend, *core.System) {
+	t.Helper()
+	sys, err := core.DefaultTestbed(clock.NewScaled(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.RegisterUser("webuser", "webuser@anl.gov"); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := sys.Login("webuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := client.New("", grant.AccessToken, client.WithHandler(sys.Gateway))
+	return New(gw, sys.Clock, sys.Store), sys
+}
+
+func TestModelsDropdownListsRunning(t *testing.T) {
+	b, _ := newBackend(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// Wait for the testbed's MinInstances to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	var models []string
+	for {
+		var err error
+		models, err = b.Models(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(models) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dropdown never populated: %v", models)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	found := false
+	for _, m := range models {
+		if m == perfmodel.Llama8B {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("8B missing from dropdown: %v", models)
+	}
+}
+
+func TestChatSessionFlow(t *testing.T) {
+	b, sys := newBackend(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sess, err := b.NewSession("webuser", perfmodel.Llama8B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetParams(sess, 32, 0.7)
+
+	replies, err := b.Send(ctx, sess, "How do I submit a PBS job?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 || replies[0].Err != nil {
+		t.Fatalf("replies = %+v", replies)
+	}
+	if replies[0].Usage.CompletionTokens != 32 {
+		t.Errorf("completion tokens = %d, want 32 (SetParams)", replies[0].Usage.CompletionTokens)
+	}
+	// Second turn: history must now hold 4 turns (2 user + 2 assistant).
+	if _, err := b.Send(ctx, sess, "And how do I check its status?"); err != nil {
+		t.Fatal(err)
+	}
+	hist := sess.History()
+	if len(hist) != 4 {
+		t.Fatalf("history turns = %d, want 4", len(hist))
+	}
+	if hist[0].Role != "user" || hist[1].Role != "assistant" {
+		t.Errorf("turn roles = %s,%s", hist[0].Role, hist[1].Role)
+	}
+	// Session persisted (§4.7: PostgreSQL persists sessions).
+	stored, ok := sys.Store.GetSession(sess.ID)
+	if !ok || stored.Turns != 4 {
+		t.Errorf("stored session = %+v", stored)
+	}
+}
+
+func TestMultiModelCompare(t *testing.T) {
+	b, _ := newBackend(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	// The paper's multi-column layout: same prompt to both models.
+	sess, err := b.NewSession("webuser", perfmodel.Llama8B, perfmodel.Llama70B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetParams(sess, 16, 0)
+	replies, err := b.Send(ctx, sess, "Compare yourselves.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("columns = %d, want 2", len(replies))
+	}
+	for _, r := range replies {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Model, r.Err)
+		}
+	}
+	// History records both models' replies.
+	var assistants int
+	for _, turn := range sess.History() {
+		if turn.Role == "assistant" {
+			assistants++
+		}
+	}
+	if assistants != 2 {
+		t.Errorf("assistant turns = %d, want 2", assistants)
+	}
+}
+
+func TestStreamingSession(t *testing.T) {
+	b, _ := newBackend(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sess, _ := b.NewSession("webuser", perfmodel.Llama8B)
+	b.SetParams(sess, 48, 0)
+	var deltas int
+	full, err := b.Stream(ctx, sess, "Stream me an explanation of MPI collectives.", func(string) { deltas++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas < 2 {
+		t.Errorf("deltas = %d, want streaming chunks", deltas)
+	}
+	if len(strings.Fields(full)) != 48 {
+		t.Errorf("streamed words = %d, want 48", len(strings.Fields(full)))
+	}
+	if len(sess.History()) != 2 {
+		t.Errorf("history = %d turns", len(sess.History()))
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	b, _ := newBackend(t)
+	if _, err := b.NewSession("u"); err == nil {
+		t.Error("session without models accepted")
+	}
+	sess, _ := b.NewSession("u", perfmodel.Llama8B)
+	if _, err := b.Send(context.Background(), sess, "   "); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, ok := b.Session(sess.ID); !ok {
+		t.Error("session lookup failed")
+	}
+	if _, ok := b.Session("nope"); ok {
+		t.Error("phantom session")
+	}
+}

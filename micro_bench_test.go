@@ -1,0 +1,64 @@
+package first_test
+
+// Substrate micro-benchmarks: the raw costs of the core data-plane pieces,
+// independent of any experiment scenario.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/serving"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+func benchEngineStep(b *testing.B) {
+	model := perfmodel.Default.MustLookup(perfmodel.Llama8B)
+	eng, err := serving.NewEngine(serving.Config{Model: model, GPU: perfmodel.A100_40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Keep a saturated batch alive throughout.
+	for i := 0; i < 512; i++ {
+		eng.Submit(0, 100, 1<<20, nil)
+	}
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Step(now)
+		now += res.Duration
+	}
+}
+
+// BenchmarkKernelEvents measures DES kernel event throughput.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	var fn func()
+	remaining := b.N
+	fn = func() {
+		remaining--
+		if remaining > 0 {
+			k.Schedule(time.Microsecond, fn)
+		}
+	}
+	k.Schedule(time.Microsecond, fn)
+	b.ResetTimer()
+	k.Run(0)
+}
+
+// BenchmarkWorkloadGeneration measures trace synthesis cost.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.Generate(1000, workload.ShareGPT(), workload.Poisson(10), int64(i))
+	}
+}
+
+// BenchmarkPseudoEmbedding measures the deterministic embedding generator.
+func BenchmarkPseudoEmbedding(b *testing.B) {
+	text := "the scheduler allocates whole gpus request eight for a full node"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serving.PseudoEmbedding(text, 4096)
+	}
+}
