@@ -1,0 +1,29 @@
+# FIRST reproduction — build/verify/perf-record targets.
+
+GO ?= go
+
+.PHONY: all check fmt vet build test bench
+
+all: check
+
+# check is the tier-1 gate every PR must keep green.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the micro/figure benchmarks and appends a BENCH_<n>.json perf
+# record so every PR extends the substrate's performance trajectory.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) run ./cmd/first-bench -exp fig3 -json

@@ -1,6 +1,8 @@
 // first-bench regenerates every table and figure from the paper's
 // evaluation (§5) on the simulated substrate and prints paper-vs-measured
-// rows. Run with -exp to select one experiment.
+// rows. Independent experiment cells fan out across cores (-workers); run
+// with -exp to select one experiment, and -json to append a machine-readable
+// BENCH_<n>.json perf record alongside the human-readable report.
 package main
 
 import (
@@ -12,11 +14,31 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|all")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+	workers := flag.Int("workers", 0, "fleet goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	emitJSON := flag.Bool("json", false, "also write a BENCH_<n>.json perf record (always regenerates the full suite, regardless of -exp)")
+	jsonOut := flag.String("json-out", "", "explicit path for the JSON record (implies -json)")
 	flag.Parse()
-	if err := experiments.Report(os.Stdout, *exp, *seed); err != nil {
+
+	fleet := experiments.Fleet{Workers: *workers}
+	if err := experiments.ReportOn(os.Stdout, *exp, *seed, fleet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *emitJSON || *jsonOut != "" {
+		// The record always covers every experiment so BENCH_<n>.json files
+		// stay comparable across runs, whatever -exp selected above.
+		rec := experiments.CollectBench(fleet, *seed)
+		path := *jsonOut
+		if path == "" {
+			path = experiments.NextBenchPath(".")
+		}
+		if err := experiments.WriteBench(rec, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (total %.0f ms)\n", path, rec.WallMS)
 	}
 }

@@ -7,4 +7,32 @@
 // WebUI backend — plus a discrete-event harness that regenerates every
 // table and figure in the paper's evaluation. See README.md, DESIGN.md and
 // EXPERIMENTS.md.
+//
+// # Simulation substrate
+//
+// The evaluation data plane is allocation-free at steady state:
+//
+//   - internal/sim.Kernel stores events by value in an index-addressed
+//     4-ary min-heap, so Schedule performs no per-event allocation and no
+//     interface boxing; the heap's backing array doubles as the free list.
+//   - internal/serving.Engine keeps its waiting queue in a ring buffer
+//     (never re-slicing a pinned backing array), reuses one scratch buffer
+//     for StepResult.Completed across iterations, recycles Sequence objects
+//     through Release/Submit, and resolves Abort by binary search over the
+//     ID-ordered ring plus a lazy tombstone instead of an O(n) scan.
+//   - internal/metrics.Histogram shards observations over independently
+//     locked slots (one shared bucket-bounds table for all histograms), so
+//     Observe never serializes the data plane on a single mutex.
+//
+// Experiments fan out: internal/experiments.Fleet runs the independent
+// cells of each figure/table (rate points, concurrency×window cells,
+// ablation arms) on parallel goroutines. Every cell owns a private kernel
+// and deterministic seeds, so fleet runs are byte-identical to the
+// sequential reference (workers=1) at any worker count.
+//
+// cmd/first-bench renders the paper-vs-measured report (-workers selects
+// the fleet size) and, with -json (or -json-out PATH), appends a
+// machine-readable BENCH_<n>.json perf record — wall time plus headline
+// metrics per experiment — so the substrate's performance trajectory
+// accumulates across PRs. `make bench` does the same via the Makefile.
 package first

@@ -1,0 +1,3 @@
+module github.com/argonne-first/first
+
+go 1.22

@@ -63,6 +63,10 @@ func (e *EngineSim) step() {
 		for _, seq := range res.Completed {
 			e.onComplete(seq)
 		}
+		// onComplete must consume the sequence synchronously (all drivers
+		// pull Ctx and the timing fields and move on); the objects then go
+		// back to the engine's free list for the next Submit.
+		e.eng.Release(res.Completed...)
 		e.step()
 	})
 }

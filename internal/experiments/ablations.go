@@ -20,46 +20,68 @@ type AblationRow struct {
 // RunOpt1Polling reproduces Optimization 1 (§5.3.1): 2 s status polling vs
 // concurrent futures at a moderate request rate; polling re-adds up to 2 s
 // of observation delay per request.
-func RunOpt1Polling(seed int64) []AblationRow {
-	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
-	trace := workload.Generate(500, workload.ShareGPT(), workload.Poisson(2), seed)
+func RunOpt1Polling(seed int64) []AblationRow { return RunOpt1PollingOn(Parallel, seed) }
 
-	run := func(label string, p desmodel.FirstParams) AblationRow {
-		k := sim.NewKernel()
-		sys := desmodel.NewFirstSystem(k, p, model, perfmodel.A100_40, 1, nil)
-		reqs := driveOpenLoop(k, trace, sys)
-		k.Run(0)
-		return AblationRow{Config: label, M: desmodel.Collect(reqs)}
-	}
+// RunOpt1PollingOn runs the Optimization 1 ablation, one fleet cell per arm.
+func RunOpt1PollingOn(f Fleet, seed int64) []AblationRow {
+	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
 	polling := desmodel.DefaultFirstParams()
 	polling.PollInterval = 2 * time.Second
-	return []AblationRow{
-		run("polling-2s (before Opt.1)", polling),
-		run("futures (after Opt.1)", desmodel.DefaultFirstParams()),
+	arms := []ablationArm{
+		{"polling-2s (before Opt.1)", polling},
+		{"futures (after Opt.1)", desmodel.DefaultFirstParams()},
 	}
+	return runAblationArms(f, arms, func() []workload.Request {
+		return workload.Generate(500, workload.ShareGPT(), workload.Poisson(2), seed)
+	}, model, 0)
+}
+
+// ablationArm is one configuration of a before/after comparison.
+type ablationArm struct {
+	label  string
+	params desmodel.FirstParams
+}
+
+// runAblationArms executes each arm as an independent fleet cell. genTrace
+// is called per cell (workload synthesis is deterministic in the seed, so
+// regenerating is cheaper than sharing across goroutines); window > 0 bounds
+// the run and filters completions to the measurement interval.
+func runAblationArms(f Fleet, arms []ablationArm, genTrace func() []workload.Request, model perfmodel.ModelSpec, window time.Duration) []AblationRow {
+	rows := make([]AblationRow, len(arms))
+	f.Run(len(arms), func(i int) {
+		k := sim.NewKernel()
+		sys := desmodel.NewFirstSystem(k, arms[i].params, model, perfmodel.A100_40, 1, nil)
+		reqs := driveOpenLoop(k, genTrace(), sys)
+		if window > 0 {
+			k.Run(window)
+			m := desmodel.Collect(onlyObserved(reqs, window))
+			rows[i] = AblationRow{Config: arms[i].label, M: m, HubQueuePeak: sys.InFlight() + sys.MaxBacklog()}
+			return
+		}
+		k.Run(0)
+		rows[i] = AblationRow{Config: arms[i].label, M: desmodel.Collect(reqs)}
+	})
+	return rows
 }
 
 // RunOpt2AuthCache reproduces Optimization 2: per-request Globus token
 // introspection + connection setup (≈2 s, and rate-limited service-side)
 // versus cached credentials.
-func RunOpt2AuthCache(seed int64) []AblationRow {
-	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
-	trace := workload.Generate(500, workload.ShareGPT(), workload.Poisson(5), seed)
+func RunOpt2AuthCache(seed int64) []AblationRow { return RunOpt2AuthCacheOn(Parallel, seed) }
 
-	run := func(label string, p desmodel.FirstParams) AblationRow {
-		k := sim.NewKernel()
-		sys := desmodel.NewFirstSystem(k, p, model, perfmodel.A100_40, 1, nil)
-		reqs := driveOpenLoop(k, trace, sys)
-		k.Run(0)
-		return AblationRow{Config: label, M: desmodel.Collect(reqs)}
-	}
+// RunOpt2AuthCacheOn runs the Optimization 2 ablation, one fleet cell per arm.
+func RunOpt2AuthCacheOn(f Fleet, seed int64) []AblationRow {
+	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
 	uncached := desmodel.DefaultFirstParams()
 	uncached.AuthIntrospect = 2 * time.Second
 	uncached.AuthRatePerSec = 4 // Globus-side introspection rate limit binds below the offered 5 req/s
-	return []AblationRow{
-		run("introspect-per-request (before Opt.2)", uncached),
-		run("cached-introspection (after Opt.2)", desmodel.DefaultFirstParams()),
+	arms := []ablationArm{
+		{"introspect-per-request (before Opt.2)", uncached},
+		{"cached-introspection (after Opt.2)", desmodel.DefaultFirstParams()},
 	}
+	return runAblationArms(f, arms, func() []workload.Request {
+		return workload.Generate(500, workload.ShareGPT(), workload.Poisson(5), seed)
+	}, model, 0)
 }
 
 // RunOpt3AsyncGateway reproduces Optimization 3's Artillery experiment:
@@ -67,34 +89,30 @@ func RunOpt2AuthCache(seed int64) []AblationRow {
 // with nine workers and (b) the async gateway, which keeps offloading tasks
 // to the fabric (">8000 inference tasks could be queued at Globus") and
 // raises response throughput by roughly a factor of 20 on a single node.
-func RunOpt3AsyncGateway(seed int64) []AblationRow {
+func RunOpt3AsyncGateway(seed int64) []AblationRow { return RunOpt3AsyncGatewayOn(Parallel, seed) }
+
+// RunOpt3AsyncGatewayOn runs the Optimization 3 ablation, one fleet cell per
+// arm. The run is bounded to the Artillery window — the sync gateway would
+// take hours to drain its backlog — and tasks in flight past the gateway at
+// window end are "queued at Globus" (the sync gateway instead queues them in
+// its own backlog).
+func RunOpt3AsyncGatewayOn(f Fleet, seed int64) []AblationRow {
 	model := perfmodel.Default.MustLookup(perfmodel.Llama8B)
 	const (
 		rate    = 100.0
 		seconds = 300
 	)
-	trace := workload.Generate(int(rate)*seconds, workload.ShareGPTShort(), workload.Poisson(rate), seed)
-
-	run := func(label string, p desmodel.FirstParams) AblationRow {
-		k := sim.NewKernel()
-		sys := desmodel.NewFirstSystem(k, p, model, perfmodel.A100_40, 1, nil)
-		reqs := driveOpenLoop(k, trace, sys)
-		// Run only for the Artillery window; the sync gateway would take
-		// hours to drain its backlog.
-		k.Run(time.Duration(seconds) * time.Second)
-		m := desmodel.Collect(onlyObserved(reqs, time.Duration(seconds)*time.Second))
-		// Tasks in flight past the gateway at window end are "queued at
-		// Globus"; the sync gateway instead queues them in its own backlog.
-		return AblationRow{Config: label, M: m, HubQueuePeak: sys.InFlight() + sys.MaxBacklog()}
-	}
 	sync := desmodel.DefaultFirstParams()
 	sync.SyncWorkers = 9
 	async := desmodel.DefaultFirstParams()
 	async.Window = 0 // fully asynchronous offload: queueing moves to the fabric
-	return []AblationRow{
-		run("sync-django-9-workers (before Opt.3)", sync),
-		run("async-django-ninja (after Opt.3)", async),
+	arms := []ablationArm{
+		{"sync-django-9-workers (before Opt.3)", sync},
+		{"async-django-ninja (after Opt.3)", async},
 	}
+	return runAblationArms(f, arms, func() []workload.Request {
+		return workload.Generate(int(rate)*seconds, workload.ShareGPTShort(), workload.Poisson(rate), seed)
+	}, model, time.Duration(seconds)*time.Second)
 }
 
 // onlyObserved filters requests completed within the window so throughput

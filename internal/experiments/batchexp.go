@@ -56,10 +56,17 @@ type AmortizationPoint struct {
 // RunBatchAmortization sweeps batch sizes to show cold-start amortization
 // (§5.3.1: loading dominates small batches; >10k requests amortize it).
 func RunBatchAmortization(seed int64) []AmortizationPoint {
+	return RunBatchAmortizationOn(Parallel, seed)
+}
+
+// RunBatchAmortizationOn runs the amortization sweep, one fleet cell per
+// batch size.
+func RunBatchAmortizationOn(f Fleet, seed int64) []AmortizationPoint {
 	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
 	sizes := []int{10, 100, 1000, 10000}
-	var points []AmortizationPoint
-	for _, n := range sizes {
+	points := make([]AmortizationPoint, len(sizes))
+	f.Run(len(sizes), func(i int) {
+		n := sizes[i]
 		trace := workload.Generate(n, workload.BatchGen(), workload.Infinite(), seed)
 		res, err := serving.RunOffline(serving.OfflineConfig{
 			Model:    model,
@@ -69,11 +76,11 @@ func RunBatchAmortization(seed int64) []AmortizationPoint {
 		if err != nil {
 			panic(err)
 		}
-		points = append(points, AmortizationPoint{
+		points[i] = AmortizationPoint{
 			Requests:     n,
 			OverallTokPS: res.OverallTokPS,
 			LoadShare:    res.LoadTime.Seconds() / res.TotalTime.Seconds(),
-		})
-	}
+		}
+	})
 	return points
 }

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// BenchSchema versions the BENCH_<n>.json layout.
+const BenchSchema = "first-bench/v1"
+
+// BenchExperiment is one experiment's entry in a bench record: how long the
+// regeneration took and its headline measurements (the same series
+// bench_test.go reports as custom benchmark metrics).
+type BenchExperiment struct {
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchRecord is the machine-readable output of one first-bench run. Each
+// run appends a BENCH_<n>.json to the repository so the perf trajectory of
+// the substrate accumulates across PRs.
+type BenchRecord struct {
+	Schema      string                     `json:"schema"`
+	UnixTime    int64                      `json:"unix_time"`
+	GoVersion   string                     `json:"go_version"`
+	GOOS        string                     `json:"goos"`
+	GOARCH      string                     `json:"goarch"`
+	MaxProcs    int                        `json:"maxprocs"`
+	Seed        int64                      `json:"seed"`
+	Workers     int                        `json:"workers"` // 0 = GOMAXPROCS
+	WallMS      float64                    `json:"wall_ms"`
+	Experiments map[string]BenchExperiment `json:"experiments"`
+}
+
+// CollectBench regenerates every experiment on f and returns the record.
+func CollectBench(f Fleet, seed int64) BenchRecord {
+	rec := BenchRecord{
+		Schema:      BenchSchema,
+		UnixTime:    time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Seed:        seed,
+		Workers:     f.Workers,
+		Experiments: make(map[string]BenchExperiment),
+	}
+	start := time.Now()
+	timed := func(name string, run func() map[string]float64) {
+		t0 := time.Now()
+		metrics := run()
+		rec.Experiments[name] = BenchExperiment{
+			WallMS:  float64(time.Since(t0).Microseconds()) / 1000,
+			Metrics: metrics,
+		}
+	}
+	timed("fig3", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunFig3On(f, seed) {
+			if r.Rate == "inf" {
+				prefix := "direct"
+				if r.System == "FIRST" {
+					prefix = "first"
+				}
+				m[prefix+"_req_s"] = r.M.ReqPerSec
+				m[prefix+"_tok_s"] = r.M.TokPerSec
+				m[prefix+"_med_s"] = r.M.MedianLatS
+			}
+		}
+		return m
+	})
+	timed("fig4", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunFig4On(f, seed) {
+			m[fmt.Sprintf("inst%d_req_s", r.Instances)] = r.M.ReqPerSec
+			m[fmt.Sprintf("inst%d_med_s", r.Instances)] = r.M.MedianLatS
+		}
+		return m
+	})
+	timed("fig5", func() map[string]float64 {
+		rows := RunFig5On(f, seed)
+		return map[string]float64{
+			"first_req_s":  rows[0].M.ReqPerSec,
+			"first_tok_s":  rows[0].M.TokPerSec,
+			"first_med_s":  rows[0].M.MedianLatS,
+			"openai_req_s": rows[1].M.ReqPerSec,
+			"openai_med_s": rows[1].M.MedianLatS,
+		}
+	})
+	timed("table1", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, c := range RunTable1On(f, seed) {
+			if c.Model == "Llama-3.1-8B" && (c.Concurrency == 50 || c.Concurrency == 700) {
+				m[fmt.Sprintf("8B_c%d_%ds_tok_s", c.Concurrency, c.WindowS)] = c.TokPS
+			}
+		}
+		return m
+	})
+	timed("batch", func() map[string]float64 {
+		res := RunBatch(seed)
+		return map[string]float64{
+			"overall_tok_s": res.OverallTokPS,
+			"total_s":       res.TotalTimeS,
+		}
+	})
+	timed("opt1", func() map[string]float64 {
+		rows := RunOpt1PollingOn(f, seed)
+		return map[string]float64{
+			"polling_med_s": rows[0].M.MedianLatS,
+			"futures_med_s": rows[1].M.MedianLatS,
+		}
+	})
+	timed("opt2", func() map[string]float64 {
+		rows := RunOpt2AuthCacheOn(f, seed)
+		return map[string]float64{
+			"uncached_med_s": rows[0].M.MedianLatS,
+			"cached_med_s":   rows[1].M.MedianLatS,
+		}
+	})
+	timed("opt3", func() map[string]float64 {
+		rows := RunOpt3AsyncGatewayOn(f, seed)
+		return map[string]float64{
+			"sync_req_s":         rows[0].M.ReqPerSec,
+			"async_req_s":        rows[1].M.ReqPerSec,
+			"async_fabric_queue": float64(rows[1].HubQueuePeak),
+		}
+	})
+	timed("routing", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunAblationRoutingOn(f, seed) {
+			m[r.Policy+"_req_s"] = r.M.ReqPerSec
+		}
+		return m
+	})
+	rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return rec
+}
+
+// WriteBench marshals rec to path (indented, trailing newline).
+func WriteBench(rec BenchRecord, path string) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NextBenchPath returns dir/BENCH_<n>.json for the smallest n ≥ 1 not yet
+// taken, so successive runs accumulate a numbered perf trajectory.
+func NextBenchPath(dir string) string {
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

@@ -24,8 +24,13 @@ type Fig3Row struct {
 // Fig3Requests is the paper's benchmark size.
 const Fig3Requests = 1000
 
-// RunFig3 regenerates Figure 3.
-func RunFig3(seed int64) []Fig3Row {
+// RunFig3 regenerates Figure 3 on the default parallel fleet.
+func RunFig3(seed int64) []Fig3Row { return RunFig3On(Parallel, seed) }
+
+// RunFig3On regenerates Figure 3, fanning the ten (rate, system) cells out
+// over f. Each cell regenerates its own trace from the seed so no state is
+// shared between goroutines.
+func RunFig3On(f Fleet, seed int64) []Fig3Row {
 	rates := []struct {
 		label string
 		rate  float64
@@ -44,38 +49,31 @@ func RunFig3(seed int64) []Fig3Row {
 
 	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
 	gpu := perfmodel.A100_40
-	var rows []Fig3Row
-	for _, rc := range rates {
+	systems := []string{"FIRST", "vLLM-Direct"}
+	rows := make([]Fig3Row, len(rates)*len(systems))
+	f.Run(len(rows), func(i int) {
+		rc := rates[i/len(systems)]
+		system := systems[i%len(systems)]
 		arrival := workload.Infinite()
 		if rc.rate > 0 {
 			arrival = workload.Poisson(rc.rate)
 		}
 		trace := workload.Generate(Fig3Requests, workload.ShareGPT(), arrival, seed)
 
-		// FIRST path.
-		{
-			k := sim.NewKernel()
-			sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, 1, nil)
-			reqs := driveOpenLoop(k, trace, sys)
-			k.Run(0)
-			row := Fig3Row{Rate: rc.label, System: "FIRST", M: desmodel.Collect(reqs)}
-			if p, ok := paper[rc.label+"/FIRST"]; ok {
-				row.PaperReqPS, row.PaperTokPS, row.PaperMedianS = p.PaperReqPS, p.PaperTokPS, p.PaperMedianS
-			}
-			rows = append(rows, row)
+		k := sim.NewKernel()
+		var sys arriver
+		if system == "FIRST" {
+			sys = desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, 1, nil)
+		} else {
+			sys = desmodel.NewDirectSystem(k, desmodel.DefaultDirectParams(), model, gpu, nil)
 		}
-		// vLLM Direct path.
-		{
-			k := sim.NewKernel()
-			sys := desmodel.NewDirectSystem(k, desmodel.DefaultDirectParams(), model, gpu, nil)
-			reqs := driveOpenLoop(k, trace, sys)
-			k.Run(0)
-			row := Fig3Row{Rate: rc.label, System: "vLLM-Direct", M: desmodel.Collect(reqs)}
-			if p, ok := paper[rc.label+"/vLLM-Direct"]; ok {
-				row.PaperReqPS, row.PaperTokPS, row.PaperMedianS = p.PaperReqPS, p.PaperTokPS, p.PaperMedianS
-			}
-			rows = append(rows, row)
+		reqs := driveOpenLoop(k, trace, sys)
+		k.Run(0)
+		row := Fig3Row{Rate: rc.label, System: system, M: desmodel.Collect(reqs)}
+		if p, ok := paper[rc.label+"/"+system]; ok {
+			row.PaperReqPS, row.PaperTokPS, row.PaperMedianS = p.PaperReqPS, p.PaperTokPS, p.PaperMedianS
 		}
-	}
+		rows[i] = row
+	})
 	return rows
 }

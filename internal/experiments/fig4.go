@@ -25,8 +25,11 @@ type Fig4Row struct {
 // saturated long enough to measure steady state.
 const Fig4Requests = 2000
 
-// RunFig4 regenerates Figure 4.
-func RunFig4(seed int64) []Fig4Row {
+// RunFig4 regenerates Figure 4 on the default parallel fleet.
+func RunFig4(seed int64) []Fig4Row { return RunFig4On(Parallel, seed) }
+
+// RunFig4On regenerates Figure 4, one fleet cell per instance count.
+func RunFig4On(f Fleet, seed int64) []Fig4Row {
 	paper := map[int]Fig4Row{
 		1: {PaperReqPS: 8.3, PaperTokPS: 1432, PaperMedianS: 54.5, PaperScale: 1.0},
 		2: {PaperReqPS: 14.6, PaperMedianS: 30.1, PaperScale: 1.75},
@@ -35,26 +38,27 @@ func RunFig4(seed int64) []Fig4Row {
 	}
 	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
 	gpu := perfmodel.A100_40
-	trace := workload.Generate(Fig4Requests, workload.ShareGPT(), workload.Infinite(), seed)
 
-	var rows []Fig4Row
-	var base float64
-	for n := 1; n <= 4; n++ {
+	rows := make([]Fig4Row, 4)
+	f.Run(len(rows), func(i int) {
+		n := i + 1
+		trace := workload.Generate(Fig4Requests, workload.ShareGPT(), workload.Infinite(), seed)
 		k := sim.NewKernel()
 		sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, n, nil)
 		reqs := driveOpenLoop(k, trace, sys)
 		k.Run(0)
 		row := Fig4Row{Instances: n, M: desmodel.Collect(reqs)}
-		if n == 1 {
-			base = row.M.TokPerSec
-		}
-		if base > 0 {
-			row.TokScale = row.M.TokPerSec / base
-		}
 		p := paper[n]
 		row.PaperReqPS, row.PaperTokPS, row.PaperMedianS, row.PaperScale =
 			p.PaperReqPS, p.PaperTokPS, p.PaperMedianS, p.PaperScale
-		rows = append(rows, row)
+		rows[i] = row
+	})
+	// Scaling ratios need the single-instance base, so they are stamped
+	// after the fleet joins.
+	if base := rows[0].M.TokPerSec; base > 0 {
+		for i := range rows {
+			rows[i].TokScale = rows[i].M.TokPerSec / base
+		}
 	}
 	return rows
 }

@@ -22,51 +22,54 @@ type Fig5Row struct {
 // Fig5Requests is the benchmark size.
 const Fig5Requests = 1000
 
-// RunFig5 regenerates Figure 5. The FIRST side is the open-loop infinite
-// burst; the OpenAI side runs closed-loop at the concurrency the provider's
-// rate limits allow (the paper notes its OpenAI numbers are rate-limited).
-func RunFig5(seed int64) []Fig5Row {
+// RunFig5 regenerates Figure 5 on the default parallel fleet.
+func RunFig5(seed int64) []Fig5Row { return RunFig5On(Parallel, seed) }
+
+// RunFig5On regenerates Figure 5 with one fleet cell per system. The FIRST
+// side is the open-loop infinite burst; the OpenAI side runs closed-loop at
+// the concurrency the provider's rate limits allow (the paper notes its
+// OpenAI numbers are rate-limited).
+func RunFig5On(f Fleet, seed int64) []Fig5Row {
 	gpu := perfmodel.A100_40
 	model8b := perfmodel.Default.MustLookup(perfmodel.Llama8B)
-	trace := workload.Generate(Fig5Requests, workload.ShareGPTShort(), workload.Infinite(), seed)
 
-	var rows []Fig5Row
-	// FIRST / Llama-3.1-8B.
-	{
-		k := sim.NewKernel()
-		sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model8b, gpu, 1, nil)
-		reqs := driveOpenLoop(k, trace, sys)
-		k.Run(0)
-		rows = append(rows, Fig5Row{
-			System:       "FIRST (Llama-3.1-8B)",
-			M:            desmodel.Collect(reqs),
-			PaperReqPS:   25.1,
-			PaperTokPS:   3283,
-			PaperMedianS: 16.3,
-		})
-	}
-	// OpenAI API / GPT-4o-mini.
-	{
-		k := sim.NewKernel()
-		ext := serving.DefaultOpenAI()
-		loop := newClosedLoop(k, workload.ShareGPTShort(), seed, ext.MaxConcurrent, 0)
-		var sys *desmodel.ExtAPISystem
-		sys = desmodel.NewExtAPISystem(k, ext, func(r *desmodel.Req) {
-			loop.onDone(r)
-			if len(loop.finished) >= Fig5Requests {
-				k.Stop()
+	rows := make([]Fig5Row, 2)
+	f.Run(len(rows), func(i int) {
+		switch i {
+		case 0: // FIRST / Llama-3.1-8B.
+			trace := workload.Generate(Fig5Requests, workload.ShareGPTShort(), workload.Infinite(), seed)
+			k := sim.NewKernel()
+			sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model8b, gpu, 1, nil)
+			reqs := driveOpenLoop(k, trace, sys)
+			k.Run(0)
+			rows[i] = Fig5Row{
+				System:       "FIRST (Llama-3.1-8B)",
+				M:            desmodel.Collect(reqs),
+				PaperReqPS:   25.1,
+				PaperTokPS:   3283,
+				PaperMedianS: 16.3,
 			}
-		})
-		loop.start(sys)
-		k.Run(0)
-		loop.finished = loop.finished[:min(len(loop.finished), Fig5Requests)]
-		rows = append(rows, Fig5Row{
-			System:       "OpenAI API (GPT-4o-mini)",
-			M:            desmodel.Collect(loop.finished),
-			PaperReqPS:   6.7,
-			PaperTokPS:   1199,
-			PaperMedianS: 2.0,
-		})
-	}
+		case 1: // OpenAI API / GPT-4o-mini.
+			k := sim.NewKernel()
+			ext := serving.DefaultOpenAI()
+			loop := newClosedLoop(k, workload.ShareGPTShort(), seed, ext.MaxConcurrent, 0)
+			sys := desmodel.NewExtAPISystem(k, ext, func(r *desmodel.Req) {
+				loop.onDone(r)
+				if len(loop.finished) >= Fig5Requests {
+					k.Stop()
+				}
+			})
+			loop.start(sys)
+			k.Run(0)
+			loop.finished = loop.finished[:min(len(loop.finished), Fig5Requests)]
+			rows[i] = Fig5Row{
+				System:       "OpenAI API (GPT-4o-mini)",
+				M:            desmodel.Collect(loop.finished),
+				PaperReqPS:   6.7,
+				PaperTokPS:   1199,
+				PaperMedianS: 2.0,
+			}
+		}
+	})
 	return rows
 }

@@ -6,44 +6,51 @@ import (
 )
 
 // Report renders every experiment to w in the paper's row/series layout
-// with paper-vs-measured columns; cmd/first-bench drives it.
+// with paper-vs-measured columns on the default parallel fleet;
+// cmd/first-bench drives it.
 func Report(w io.Writer, which string, seed int64) error {
+	return ReportOn(w, which, seed, Parallel)
+}
+
+// ReportOn is Report with an explicit fleet (workers=1 reproduces the
+// sequential reference run byte for byte).
+func ReportOn(w io.Writer, which string, seed int64, f Fleet) error {
 	all := which == "" || which == "all"
 	ran := false
 	if all || which == "fig3" {
-		ReportFig3(w, RunFig3(seed))
+		ReportFig3(w, RunFig3On(f, seed))
 		ran = true
 	}
 	if all || which == "fig4" {
-		ReportFig4(w, RunFig4(seed))
+		ReportFig4(w, RunFig4On(f, seed))
 		ran = true
 	}
 	if all || which == "fig5" {
-		ReportFig5(w, RunFig5(seed))
+		ReportFig5(w, RunFig5On(f, seed))
 		ran = true
 	}
 	if all || which == "table1" {
-		ReportTable1(w, RunTable1(seed))
+		ReportTable1(w, RunTable1On(f, seed))
 		ran = true
 	}
 	if all || which == "batch" {
-		ReportBatch(w, RunBatch(seed), RunBatchAmortization(seed))
+		ReportBatch(w, RunBatch(seed), RunBatchAmortizationOn(f, seed))
 		ran = true
 	}
 	if all || which == "opt1" {
-		ReportAblation(w, "Optimization 1: result polling vs futures", RunOpt1Polling(seed), false)
+		ReportAblation(w, "Optimization 1: result polling vs futures", RunOpt1PollingOn(f, seed), false)
 		ran = true
 	}
 	if all || which == "opt2" {
-		ReportAblation(w, "Optimization 2: per-request introspection vs token cache", RunOpt2AuthCache(seed), false)
+		ReportAblation(w, "Optimization 2: per-request introspection vs token cache", RunOpt2AuthCacheOn(f, seed), false)
 		ran = true
 	}
 	if all || which == "opt3" {
-		ReportAblation(w, "Optimization 3: sync (9 workers) vs async gateway — Artillery 100 req/s × 300 s", RunOpt3AsyncGateway(seed), true)
+		ReportAblation(w, "Optimization 3: sync (9 workers) vs async gateway — Artillery 100 req/s × 300 s", RunOpt3AsyncGatewayOn(f, seed), true)
 		ran = true
 	}
 	if all || which == "routing" {
-		ReportRouting(w, RunAblationRouting(seed))
+		ReportRouting(w, RunAblationRoutingOn(f, seed))
 		ran = true
 	}
 	if !ran {

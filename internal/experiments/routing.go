@@ -19,18 +19,23 @@ type RoutingRow struct {
 // interesting separation appears with heavy-tailed outputs, where random
 // and round-robin strand short requests behind long ones — so the ablation
 // uses the heavy-tailed WebUI marginals.
-func RunAblationRouting(seed int64) []RoutingRow {
+func RunAblationRouting(seed int64) []RoutingRow { return RunAblationRoutingOn(Parallel, seed) }
+
+// RunAblationRoutingOn runs the routing ablation with one fleet cell per
+// policy.
+func RunAblationRoutingOn(f Fleet, seed int64) []RoutingRow {
 	model := perfmodel.Default.MustLookup(perfmodel.Llama70B)
 	spec := workload.WebUI()
-	trace := workload.Generate(2000, spec, workload.Infinite(), seed)
 
 	policies := []desmodel.RoutingPolicy{
 		desmodel.RouteLeastLoaded,
 		desmodel.RouteRoundRobin,
 		desmodel.RouteRandom,
 	}
-	var rows []RoutingRow
-	for _, pol := range policies {
+	rows := make([]RoutingRow, len(policies))
+	f.Run(len(rows), func(i int) {
+		pol := policies[i]
+		trace := workload.Generate(2000, spec, workload.Infinite(), seed)
 		k := sim.NewKernel()
 		p := desmodel.DefaultFirstParams()
 		p.Routing = pol
@@ -41,7 +46,7 @@ func RunAblationRouting(seed int64) []RoutingRow {
 		sys := desmodel.NewFirstSystem(k, p, model, perfmodel.A100_40, 4, nil)
 		reqs := driveOpenLoop(k, trace, sys)
 		k.Run(0)
-		rows = append(rows, RoutingRow{Policy: pol.String(), M: desmodel.Collect(reqs)})
-	}
+		rows[i] = RoutingRow{Policy: pol.String(), M: desmodel.Collect(reqs)}
+	})
 	return rows
 }

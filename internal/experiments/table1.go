@@ -72,42 +72,48 @@ var paperTable1 = map[string]map[int]map[int][2]float64{
 	},
 }
 
-// RunTable1 regenerates Table 1.
-func RunTable1(seed int64) []Table1Cell {
-	var cells []Table1Cell
+// RunTable1 regenerates Table 1 on the default parallel fleet.
+func RunTable1(seed int64) []Table1Cell { return RunTable1On(Parallel, seed) }
+
+// RunTable1On regenerates Table 1 with one fleet cell per
+// (model, concurrency, window) combination — 30 independent simulations,
+// each seeded from the experiment seed plus its cell coordinates.
+func RunTable1On(f Fleet, seed int64) []Table1Cell {
 	gpu := perfmodel.A100_40
-	for _, mc := range table1Models {
+	nConc := len(Table1Concurrencies)
+	nWin := len(Table1Windows)
+	cells := make([]Table1Cell, len(table1Models)*nConc*nWin)
+	f.Run(len(cells), func(i int) {
+		mc := table1Models[i/(nConc*nWin)]
+		conc := Table1Concurrencies[(i/nWin)%nConc]
+		windowS := Table1Windows[i%nWin]
 		model := perfmodel.Default.MustLookup(mc.name)
-		for _, conc := range Table1Concurrencies {
-			for _, windowS := range Table1Windows {
-				window := time.Duration(windowS) * time.Second
-				k := sim.NewKernel()
-				loop := newClosedLoop(k, workload.WebUI(), seed+int64(conc)+int64(windowS), conc, 0)
-				loop.enableChatHistory(8192)
-				// The WebUI backend (FastAPI/Uvicorn) holds its own worker
-				// pool, not the gateway's Gunicorn window; session count is
-				// the concurrency control here.
-				params := desmodel.DefaultFirstParams()
-				params.Window = 0
-				sys := desmodel.NewFirstSystem(k, params, model, gpu, mc.instances(conc), loop.onDone)
-				loop.start(sys)
-				k.Run(window)
-				n, _ := loop.completedWithin(window)
-				cell := Table1Cell{
-					Model:       mc.display,
-					Concurrency: conc,
-					WindowS:     windowS,
-					// Sessions stream, so token throughput counts tokens
-					// as generated within the window.
-					TokPS: float64(sys.EmittedTokensBy(window)) / window.Seconds(),
-					ReqPS: float64(n) / window.Seconds(),
-				}
-				if p, ok := paperTable1[mc.display][conc][windowS]; ok {
-					cell.PaperTokPS, cell.PaperReqPS = p[0], p[1]
-				}
-				cells = append(cells, cell)
-			}
+		window := time.Duration(windowS) * time.Second
+		k := sim.NewKernel()
+		loop := newClosedLoop(k, workload.WebUI(), seed+int64(conc)+int64(windowS), conc, 0)
+		loop.enableChatHistory(8192)
+		// The WebUI backend (FastAPI/Uvicorn) holds its own worker
+		// pool, not the gateway's Gunicorn window; session count is
+		// the concurrency control here.
+		params := desmodel.DefaultFirstParams()
+		params.Window = 0
+		sys := desmodel.NewFirstSystem(k, params, model, gpu, mc.instances(conc), loop.onDone)
+		loop.start(sys)
+		k.Run(window)
+		n, _ := loop.completedWithin(window)
+		cell := Table1Cell{
+			Model:       mc.display,
+			Concurrency: conc,
+			WindowS:     windowS,
+			// Sessions stream, so token throughput counts tokens
+			// as generated within the window.
+			TokPS: float64(sys.EmittedTokensBy(window)) / window.Seconds(),
+			ReqPS: float64(n) / window.Seconds(),
 		}
-	}
+		if p, ok := paperTable1[mc.display][conc][windowS]; ok {
+			cell.PaperTokPS, cell.PaperReqPS = p[0], p[1]
+		}
+		cells[i] = cell
+	})
 	return cells
 }

@@ -2,12 +2,22 @@
 // safe counters, gauges, and latency histograms with quantile estimation,
 // grouped in registries whose snapshots feed the dashboard and the /metrics
 // endpoint.
+//
+// Histograms are sharded: observations scatter across independently locked
+// slots so the serving data plane never serializes on a single histogram
+// mutex, and every histogram shares one immutable package-level bucket
+// bounds table instead of recomputing (and re-allocating) the exponential
+// layout per instance. Reads merge the shards; they are monitoring-grade
+// (each shard is internally consistent, the merge is not a global atomic
+// snapshot).
 package metrics
 
 import (
 	"fmt"
 	"math"
+	mrand "math/rand/v2"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,31 +55,43 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram records duration observations in exponential buckets and
-// estimates quantiles by linear interpolation within the matched bucket.
-// The default layout spans 1 ms .. ~2.3 h with 10% resolution.
-type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // upper bounds, seconds
-	counts []int64   // len(bounds)+1, last is overflow
-	sum    float64
-	n      int64
-	min    float64
-	max    float64
-}
-
-// NewHistogram returns a histogram with the default exponential layout.
-func NewHistogram() *Histogram {
+// defaultBounds is the shared exponential bucket layout: 1 ms .. ~2.3 h with
+// 10% resolution. It is computed once and never mutated; every histogram
+// references it.
+var defaultBounds = func() []float64 {
 	var bounds []float64
 	for b := 0.001; b < 10000; b *= 1.1 {
 		bounds = append(bounds, b)
 	}
-	return &Histogram{
-		bounds: bounds,
-		counts: make([]int64, len(bounds)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
-	}
+	return bounds
+}()
+
+// histShards is the number of independently locked observation slots per
+// histogram. Power of two so shard selection is a mask.
+const histShards = 16
+
+// histShard is one observation slot. The padding keeps concurrently locked
+// shards off each other's cache lines.
+type histShard struct {
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1, last is overflow; allocated on first use
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+	_      [64]byte
+}
+
+// Histogram records duration observations in exponential buckets and
+// estimates quantiles by linear interpolation within the matched bucket.
+type Histogram struct {
+	bounds []float64 // shared, immutable
+	shards [histShards]histShard
+}
+
+// NewHistogram returns a histogram with the default exponential layout.
+func NewHistogram() *Histogram {
+	return &Histogram{bounds: defaultBounds}
 }
 
 // Observe records a duration.
@@ -80,72 +102,127 @@ func (h *Histogram) ObserveSeconds(s float64) {
 	if s < 0 || math.IsNaN(s) {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	idx := sort.SearchFloat64s(h.bounds, s)
-	h.counts[idx]++
-	h.sum += s
-	h.n++
-	if s < h.min {
-		h.min = s
+	// Scatter across shards: rand/v2's generator is per-thread state, so
+	// concurrent observers land on different shards without sharing any
+	// cache line, and the merge on read is shard-order independent.
+	sh := &h.shards[mrand.Uint64N(histShards)]
+	sh.mu.Lock()
+	if sh.counts == nil {
+		sh.counts = make([]int64, len(h.bounds)+1)
+		sh.min = math.Inf(1)
+		sh.max = math.Inf(-1)
 	}
-	if s > h.max {
-		h.max = s
+	sh.counts[idx]++
+	sh.sum += s
+	sh.n++
+	if s < sh.min {
+		sh.min = s
 	}
+	if s > sh.max {
+		sh.max = s
+	}
+	sh.mu.Unlock()
+}
+
+// histData is a merged view of all shards.
+type histData struct {
+	counts []int64
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+}
+
+// merge folds every shard into one view (allocates; read path only).
+func (h *Histogram) merge() histData {
+	d := histData{min: math.Inf(1), max: math.Inf(-1)}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		if sh.n > 0 {
+			if d.counts == nil {
+				d.counts = make([]int64, len(h.bounds)+1)
+			}
+			for j, c := range sh.counts {
+				d.counts[j] += c
+			}
+			d.sum += sh.sum
+			d.n += sh.n
+			if sh.min < d.min {
+				d.min = sh.min
+			}
+			if sh.max > d.max {
+				d.max = sh.max
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return d
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
+	var n int64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Mean returns the mean of observations in seconds (0 if empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
+	var sum float64
+	var n int64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		sum += sh.sum
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return sum / float64(n)
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) in seconds.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.quantileLocked(q)
+	return h.quantileOf(h.merge(), q)
 }
 
-func (h *Histogram) quantileLocked(q float64) float64 {
-	if h.n == 0 {
+func (h *Histogram) quantileOf(d histData, q float64) float64 {
+	if d.n == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return d.min
 	}
 	if q >= 1 {
-		return h.max
+		return d.max
 	}
-	rank := q * float64(h.n)
+	rank := q * float64(d.n)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range d.counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			hi := h.max
+			hi := d.max
 			if i < len(h.bounds) {
 				hi = h.bounds[i]
 			}
-			if hi > h.max {
-				hi = h.max
+			if hi > d.max {
+				hi = d.max
 			}
-			if lo < h.min {
-				lo = h.min
+			if lo < d.min {
+				lo = d.min
 			}
 			if hi < lo {
 				hi = lo
@@ -155,7 +232,7 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		}
 		cum = next
 	}
-	return h.max
+	return d.max
 }
 
 // Summary is a point-in-time view of a histogram.
@@ -171,18 +248,17 @@ type Summary struct {
 
 // Snapshot returns a summary of the histogram.
 func (h *Histogram) Snapshot() Summary {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := Summary{Count: h.n}
-	if h.n == 0 {
+	d := h.merge()
+	s := Summary{Count: d.n}
+	if d.n == 0 {
 		return s
 	}
-	s.Mean = h.sum / float64(h.n)
-	s.Min = h.min
-	s.Max = h.max
-	s.P50 = h.quantileLocked(0.50)
-	s.P90 = h.quantileLocked(0.90)
-	s.P99 = h.quantileLocked(0.99)
+	s.Mean = d.sum / float64(d.n)
+	s.Min = d.min
+	s.Max = d.max
+	s.P50 = h.quantileOf(d, 0.50)
+	s.P90 = h.quantileOf(d, 0.90)
+	s.P99 = h.quantileOf(d, 0.99)
 	return s
 }
 
@@ -299,23 +375,41 @@ func (r *Registry) Names() (counters, gauges, histograms []string) {
 	return
 }
 
-// Expose renders a Prometheus-flavoured text exposition of the registry.
+// Expose renders a Prometheus-flavoured text exposition of the registry. It
+// takes one snapshot up front — the registry lock is held once, not
+// re-acquired per metric name — and builds the output in a single buffer.
 func (r *Registry) Expose() string {
-	counters, gauges, hists := r.Names()
-	out := ""
+	snap := r.Snapshot()
+	counters := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(snap.Gauges))
+	for name := range snap.Gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+
+	var b strings.Builder
 	for _, name := range counters {
-		out += fmt.Sprintf("first_%s_total %d\n", name, r.Counter(name).Value())
+		fmt.Fprintf(&b, "first_%s_total %d\n", name, snap.Counters[name])
 	}
 	for _, name := range gauges {
-		out += fmt.Sprintf("first_%s %d\n", name, r.Gauge(name).Value())
+		fmt.Fprintf(&b, "first_%s %d\n", name, snap.Gauges[name])
 	}
 	for _, name := range hists {
-		s := r.Histogram(name).Snapshot()
-		out += fmt.Sprintf("first_%s_count %d\n", name, s.Count)
-		out += fmt.Sprintf("first_%s_mean_seconds %g\n", name, s.Mean)
-		out += fmt.Sprintf("first_%s_p50_seconds %g\n", name, s.P50)
-		out += fmt.Sprintf("first_%s_p90_seconds %g\n", name, s.P90)
-		out += fmt.Sprintf("first_%s_p99_seconds %g\n", name, s.P99)
+		s := snap.Histograms[name]
+		fmt.Fprintf(&b, "first_%s_count %d\n", name, s.Count)
+		fmt.Fprintf(&b, "first_%s_mean_seconds %g\n", name, s.Mean)
+		fmt.Fprintf(&b, "first_%s_p50_seconds %g\n", name, s.P50)
+		fmt.Fprintf(&b, "first_%s_p90_seconds %g\n", name, s.P90)
+		fmt.Fprintf(&b, "first_%s_p99_seconds %g\n", name, s.P99)
 	}
-	return out
+	return b.String()
 }

@@ -203,3 +203,59 @@ func TestEmptyHistogramSnapshot(t *testing.T) {
 		t.Error("empty quantile should be 0")
 	}
 }
+
+func TestHistogramSharedBounds(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	if &a.bounds[0] != &b.bounds[0] {
+		t.Error("histograms should share the package-level bounds table")
+	}
+}
+
+func TestHistogramShardedMergeMatchesTotals(t *testing.T) {
+	h := NewHistogram()
+	var want float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := float64(i%500)/100 + 0.001
+		want += v
+		h.ObserveSeconds(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if got := h.Mean(); math.Abs(got-want/n) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want/n)
+	}
+	s := h.Snapshot()
+	if s.Min != 0.001 || math.Abs(s.Max-4.991) > 1e-9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Quantiles must be insensitive to which shard each observation landed
+	// in: the median of a uniform 0..5 sweep is ≈2.5.
+	if s.P50 < 2.0 || s.P50 > 3.0 {
+		t.Errorf("p50 = %v, want ≈2.5", s.P50)
+	}
+}
+
+func TestHistogramConcurrentObservers(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const goroutines, per = 32, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i%100+1) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	s := h.Snapshot()
+	if s.Min > 0.0011 || s.Max < 0.099 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}

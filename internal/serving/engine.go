@@ -9,11 +9,18 @@
 // and deliver the completions it reports. Keeping the engine pure lets the
 // exact same batching logic power both the real HTTP stack and the paper's
 // figure reproductions.
+//
+// The engine's hot path is allocation-free at steady state: the waiting
+// queue is a ring buffer (so admission never re-slices and pins a backing
+// array), StepResult.Completed aliases a scratch buffer reused across
+// iterations, and drivers that call Release return finished Sequence objects
+// to a free list that Submit draws from.
 package serving
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/argonne-first/first/internal/perfmodel"
@@ -32,6 +39,10 @@ type Sequence struct {
 
 	// Ctx carries driver-private data (e.g. the fabric task).
 	Ctx interface{}
+
+	// aborted marks a waiting sequence whose client disconnected; admit
+	// drops it lazily when it reaches the queue head.
+	aborted bool
 }
 
 // QueueWait returns how long the sequence waited before admission (clamped
@@ -101,10 +112,65 @@ type StepResult struct {
 	// Busy is false when there was nothing to do.
 	Busy bool
 	// Completed sequences finished at the end of this iteration, with
-	// FinishAt already stamped.
+	// FinishAt already stamped. The slice aliases a scratch buffer owned by
+	// the engine and is only valid until the next Step call; drivers must
+	// consume (or copy) it before stepping again.
 	Completed []*Sequence
 	// EmittedTokens is the number of output tokens produced this iteration.
 	EmittedTokens int
+}
+
+// seqRing is a FIFO of waiting sequences backed by a power-of-two ring
+// buffer. Unlike the previous head-sliced `waiting = waiting[1:]` queue it
+// never pins a growing backing array, and popping the head is a single index
+// increment with no write to the popped slot's neighbours.
+type seqRing struct {
+	buf  []*Sequence
+	head int
+	n    int
+}
+
+func (q *seqRing) len() int { return q.n }
+
+func (q *seqRing) at(i int) *Sequence {
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+func (q *seqRing) push(s *Sequence) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = s
+	q.n++
+}
+
+func (q *seqRing) popFront() *Sequence {
+	s := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return s
+}
+
+func (q *seqRing) popBack() *Sequence {
+	i := (q.head + q.n - 1) & (len(q.buf) - 1)
+	s := q.buf[i]
+	q.buf[i] = nil
+	q.n--
+	return s
+}
+
+func (q *seqRing) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Sequence, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // Engine is a continuous-batching generation engine for one model instance.
@@ -113,8 +179,14 @@ type Engine struct {
 	cfg     Config
 	nextID  int64
 	now     time.Duration
-	waiting []*Sequence
+	waiting seqRing
 	running []*Sequence
+	// abortedWaiting counts tombstoned entries still sitting in the ring.
+	abortedWaiting int
+	// completedScratch backs StepResult.Completed across iterations.
+	completedScratch []*Sequence
+	// free holds released Sequence objects for Submit to reuse.
+	free []*Sequence
 	// kvUsed tracks actual KV occupancy; kvReserved additionally holds the
 	// full prompt+output reservation of every running sequence so admission
 	// can never let the batch grow past capacity mid-flight. (vLLM admits
@@ -157,13 +229,13 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Stats() Stats { return e.stats }
 
 // Depth returns waiting+running sequence count (least-loaded routing input).
-func (e *Engine) Depth() int { return len(e.waiting) + len(e.running) }
+func (e *Engine) Depth() int { return e.WaitingCount() + len(e.running) }
 
 // RunningBatch returns the current running batch size.
 func (e *Engine) RunningBatch() int { return len(e.running) }
 
 // WaitingCount returns the number of queued (unadmitted) sequences.
-func (e *Engine) WaitingCount() int { return len(e.waiting) }
+func (e *Engine) WaitingCount() int { return e.waiting.len() - e.abortedWaiting }
 
 // KVUsedTokens returns current KV occupancy in tokens.
 func (e *Engine) KVUsedTokens() int { return e.kvUsed }
@@ -179,8 +251,12 @@ func (e *Engine) LastBusyAt() time.Duration { return e.lastBusy }
 // only fast-forwards to now when the engine is idle — a busy engine's
 // iteration pacing is never disturbed by arrivals (live drivers may call
 // with a wall-derived now slightly ahead of the engine's timeline).
+//
+// The returned Sequence may come from the free list populated by Release; it
+// is owned by the caller until completion is delivered (or the sequence is
+// aborted) and must not be retained after being passed back to Release.
 func (e *Engine) Submit(now time.Duration, promptTok, outputTok int, ctx interface{}) *Sequence {
-	if now > e.now && len(e.running) == 0 && len(e.waiting) == 0 {
+	if now > e.now && len(e.running) == 0 && e.waiting.len() == 0 {
 		e.now = now
 	}
 	if promptTok < 1 {
@@ -194,14 +270,22 @@ func (e *Engine) Submit(now time.Duration, promptTok, outputTok int, ctx interfa
 	if submitAt < 0 {
 		submitAt = 0
 	}
-	seq := &Sequence{
+	var seq *Sequence
+	if n := len(e.free); n > 0 {
+		seq = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		seq = &Sequence{}
+	}
+	*seq = Sequence{
 		ID:        e.nextID,
 		PromptTok: promptTok,
 		OutputTok: outputTok,
 		SubmitAt:  submitAt,
 		Ctx:       ctx,
 	}
-	e.waiting = append(e.waiting, seq)
+	e.waiting.push(seq)
 	e.stats.Submitted++
 	if e.now > e.lastBusy {
 		e.lastBusy = e.now
@@ -212,10 +296,26 @@ func (e *Engine) Submit(now time.Duration, promptTok, outputTok int, ctx interfa
 	return seq
 }
 
+// Release returns finished (or aborted) sequences to the engine's free list
+// for reuse by later Submits. Callers must guarantee no references to the
+// sequences remain — in particular, a StepResult.Completed slice must be
+// fully consumed first. Release is optional: drivers that keep sequences
+// alive (tests, tracing tools) simply skip it and let the GC reclaim them.
+func (e *Engine) Release(seqs ...*Sequence) {
+	for _, s := range seqs {
+		if s == nil {
+			continue
+		}
+		*s = Sequence{}
+		e.free = append(e.free, s)
+	}
+}
+
 // Step advances the engine by one iteration starting at virtual time now.
 // The iteration spans [now, now+Duration]; completions are stamped at its
 // end. When there is no work, Busy is false and the driver should sleep
-// until the next Submit.
+// until the next Submit. The returned Completed slice is reused by the next
+// Step call (see StepResult).
 func (e *Engine) Step(now time.Duration) StepResult {
 	if now > e.now {
 		e.now = now
@@ -231,6 +331,11 @@ func (e *Engine) Step(now time.Duration) StepResult {
 	}
 	end := e.now + iter
 
+	for i := range e.completedScratch {
+		e.completedScratch[i] = nil
+	}
+	e.completedScratch = e.completedScratch[:0]
+
 	res := StepResult{Duration: iter, Busy: true, EmittedTokens: len(e.running)}
 	kept := e.running[:0]
 	for _, seq := range e.running {
@@ -240,7 +345,7 @@ func (e *Engine) Step(now time.Duration) StepResult {
 			seq.FinishAt = end
 			e.kvUsed -= seq.PromptTok + seq.Emitted
 			e.kvReserved -= seq.PromptTok + seq.OutputTok
-			res.Completed = append(res.Completed, seq)
+			e.completedScratch = append(e.completedScratch, seq)
 			e.stats.Completed++
 			e.stats.OutputTokens += int64(seq.Emitted)
 		} else {
@@ -248,6 +353,7 @@ func (e *Engine) Step(now time.Duration) StepResult {
 		}
 	}
 	e.running = kept
+	res.Completed = e.completedScratch
 
 	e.stats.Iterations++
 	e.stats.BusyTime += iter
@@ -261,13 +367,22 @@ func (e *Engine) Step(now time.Duration) StepResult {
 
 // admit moves waiting sequences into the running batch subject to the batch
 // cap, the per-iteration prefill budget, and KV headroom. It returns the
-// total prompt tokens admitted this iteration.
+// total prompt tokens admitted this iteration. Tombstoned (aborted)
+// sequences are dropped as they surface at the queue head.
 func (e *Engine) admit() int {
 	budget := e.cfg.maxPrefillPerIter()
 	maxBatch := e.cfg.maxBatch()
 	var admittedPrefill int
-	for len(e.waiting) > 0 && len(e.running) < maxBatch {
-		seq := e.waiting[0]
+	for e.waiting.len() > 0 {
+		if len(e.running) >= maxBatch {
+			break
+		}
+		seq := e.waiting.at(0)
+		if seq.aborted {
+			e.waiting.popFront()
+			e.abortedWaiting--
+			continue
+		}
 		if admittedPrefill > 0 && admittedPrefill+seq.PromptTok > budget {
 			break // prefill budget exhausted this iteration
 		}
@@ -278,11 +393,11 @@ func (e *Engine) admit() int {
 			e.stats.KVRejections++
 			break
 		}
+		e.waiting.popFront()
 		e.kvReserved += need
 		e.kvUsed += seq.PromptTok
 		seq.StartAt = e.now
 		e.running = append(e.running, seq)
-		e.waiting = e.waiting[1:]
 		admittedPrefill += seq.PromptTok
 		e.stats.PrefillTokens += int64(seq.PromptTok)
 	}
@@ -294,16 +409,35 @@ func (e *Engine) admit() int {
 
 // Abort removes a waiting sequence (e.g. client disconnect). It returns true
 // if the sequence was found in the waiting queue; running sequences cannot
-// be aborted mid-iteration.
+// be aborted mid-iteration. Because sequence IDs increase monotonically in
+// submission order, the waiting ring is sorted by ID and the lookup is a
+// binary search; the entry itself is tombstoned and reclaimed lazily, so a
+// mass client-disconnect costs O(log n) per abort instead of the previous
+// O(n) scan-and-copy.
 func (e *Engine) Abort(id int64) bool {
-	for i, s := range e.waiting {
-		if s.ID == id {
-			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
-			e.stats.Aborted++
-			return true
-		}
+	n := e.waiting.len()
+	i := sort.Search(n, func(i int) bool { return e.waiting.at(i).ID >= id })
+	if i >= n {
+		return false
 	}
-	return false
+	seq := e.waiting.at(i)
+	if seq.ID != id || seq.aborted {
+		return false
+	}
+	seq.aborted = true
+	e.abortedWaiting++
+	e.stats.Aborted++
+	// Trim tombstones reachable from either end so a fully-aborted queue
+	// drains to empty without waiting for the next admission pass.
+	for e.waiting.len() > 0 && e.waiting.at(0).aborted {
+		e.waiting.popFront()
+		e.abortedWaiting--
+	}
+	for e.waiting.len() > 0 && e.waiting.at(e.waiting.len()-1).aborted {
+		e.waiting.popBack()
+		e.abortedWaiting--
+	}
+	return true
 }
 
 // CheckInvariants validates internal accounting; tests call this after
@@ -321,7 +455,15 @@ func (e *Engine) CheckInvariants() error {
 	if len(e.running) > e.cfg.maxBatch() {
 		return fmt.Errorf("serving: batch %d exceeds cap %d", len(e.running), e.cfg.maxBatch())
 	}
-	inFlight := int64(len(e.running) + len(e.waiting))
+	if e.abortedWaiting < 0 || e.abortedWaiting > e.waiting.len() {
+		return fmt.Errorf("serving: tombstone count %d out of range (queue %d)", e.abortedWaiting, e.waiting.len())
+	}
+	for i := 1; i < e.waiting.len(); i++ {
+		if e.waiting.at(i-1).ID >= e.waiting.at(i).ID {
+			return fmt.Errorf("serving: waiting ring not ID-ordered at %d", i)
+		}
+	}
+	inFlight := int64(len(e.running) + e.WaitingCount())
 	if e.stats.Submitted != e.stats.Completed+e.stats.Aborted+inFlight {
 		return fmt.Errorf("serving: sequence conservation violated: submitted=%d completed=%d aborted=%d inflight=%d",
 			e.stats.Submitted, e.stats.Completed, e.stats.Aborted, inFlight)

@@ -263,3 +263,196 @@ func TestEnginePrefillBudgetSpreadsAdmission(t *testing.T) {
 		t.Errorf("first iteration admitted %d, want 1 (600 then 1200 > budget)", got)
 	}
 }
+
+func TestEngineWaitingRingWraparound(t *testing.T) {
+	// Interleave submit/drain cycles so the ring's head walks around the
+	// buffer repeatedly; FIFO order and accounting must survive wrapping.
+	eng := newTestEngine(t, perfmodel.Llama8B, 4)
+	now := time.Duration(0)
+	var completedIDs []int64
+	var submitted []int64
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 13; i++ {
+			submitted = append(submitted, eng.Submit(now, 10, 5, nil).ID)
+		}
+		for eng.Depth() > 0 {
+			res := eng.Step(now)
+			now += res.Duration
+			for _, s := range res.Completed {
+				completedIDs = append(completedIDs, s.ID)
+			}
+			eng.Release(res.Completed...)
+		}
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if len(completedIDs) != len(submitted) {
+		t.Fatalf("completed %d, want %d", len(completedIDs), len(submitted))
+	}
+	// Admission is FIFO and all sequences are identical, so batches finish
+	// in admission order: completion IDs must be sorted.
+	for i := 1; i < len(completedIDs); i++ {
+		if completedIDs[i] < completedIDs[i-1] {
+			t.Fatalf("completion order not FIFO at %d: %v", i, completedIDs[i-1:i+1])
+		}
+	}
+}
+
+func TestEngineMassAbort(t *testing.T) {
+	// A client stampede disconnects every waiting request; each abort is a
+	// binary search + tombstone, and the queue must drain fully.
+	eng := newTestEngine(t, perfmodel.Llama8B, 4)
+	var ids []int64
+	for i := 0; i < 2000; i++ {
+		ids = append(ids, eng.Submit(0, 10, 50, nil).ID)
+	}
+	eng.Step(0) // admit 4
+	aborted := 0
+	for _, id := range ids[4:] {
+		if eng.Abort(id) {
+			aborted++
+		}
+	}
+	if aborted != 1996 {
+		t.Fatalf("aborted %d, want 1996", aborted)
+	}
+	if eng.WaitingCount() != 0 {
+		t.Errorf("waiting = %d after mass abort", eng.WaitingCount())
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if got := len(drain(eng)); got != 4 {
+		t.Errorf("completed %d, want the 4 running", got)
+	}
+	if st := eng.Stats(); st.Aborted != 1996 {
+		t.Errorf("stats.Aborted = %d", st.Aborted)
+	}
+}
+
+func TestEngineAbortMiddleThenDrains(t *testing.T) {
+	// Tombstoned entries in the middle of the ring are dropped when they
+	// reach the head during admission.
+	eng := newTestEngine(t, perfmodel.Llama8B, 2)
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, eng.Submit(0, 10, 3, nil).ID)
+	}
+	if !eng.Abort(ids[3]) {
+		t.Fatal("abort middle failed")
+	}
+	if eng.Abort(ids[3]) {
+		t.Error("double abort should fail")
+	}
+	done := drain(eng)
+	if len(done) != 5 {
+		t.Fatalf("completed %d, want 5", len(done))
+	}
+	for _, s := range done {
+		if s.ID == ids[3] {
+			t.Error("aborted sequence completed")
+		}
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineSequencePoolReuse(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 4)
+	first := eng.Submit(0, 10, 2, nil)
+	res := eng.Step(0)
+	res = eng.Step(res.Duration)
+	if len(res.Completed) != 1 {
+		t.Fatalf("completed %d, want 1", len(res.Completed))
+	}
+	eng.Release(res.Completed...)
+	second := eng.Submit(eng.Now(), 20, 3, "ctx")
+	if second != first {
+		t.Error("Release should feed the free list for the next Submit")
+	}
+	if second.ID == 1 || second.PromptTok != 20 || second.OutputTok != 3 || second.Emitted != 0 || second.Ctx != "ctx" {
+		t.Errorf("recycled sequence not reset: %+v", second)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineCompletedScratchReused(t *testing.T) {
+	// StepResult.Completed aliases engine-owned scratch: the next Step may
+	// overwrite it, so the slices from consecutive busy steps share a base.
+	eng := newTestEngine(t, perfmodel.Llama8B, 8)
+	for i := 0; i < 8; i++ {
+		eng.Submit(0, 10, 1, nil)
+	}
+	res1 := eng.Step(0)
+	if len(res1.Completed) != 8 {
+		t.Fatalf("first step completed %d, want 8", len(res1.Completed))
+	}
+	got := make([]int64, 0, 8)
+	for _, s := range res1.Completed {
+		got = append(got, s.ID)
+	}
+	eng.Release(res1.Completed...)
+	for i := 0; i < 4; i++ {
+		eng.Submit(eng.Now(), 10, 1, nil)
+	}
+	res2 := eng.Step(eng.Now())
+	if len(res2.Completed) != 4 {
+		t.Fatalf("second step completed %d, want 4", len(res2.Completed))
+	}
+	if &res1.Completed[0] != &res2.Completed[0] {
+		t.Error("scratch buffer should be reused across steps")
+	}
+	for i, id := range got {
+		if id != int64(i+1) {
+			t.Errorf("first batch IDs corrupted: %v", got)
+			break
+		}
+	}
+}
+
+// TestEngineStepZeroAlloc pins the saturated Step loop at zero allocations
+// per iteration (the BenchmarkEngineStep regression).
+func TestEngineStepZeroAlloc(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 0)
+	for i := 0; i < 512; i++ {
+		eng.Submit(0, 100, 1<<20, nil)
+	}
+	now := time.Duration(0)
+	// Warm: admit the batch and run a few iterations.
+	for i := 0; i < 10; i++ {
+		now += eng.Step(now).Duration
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		now += eng.Step(now).Duration
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocs = %v, want 0", allocs)
+	}
+}
+
+// TestEngineChurnZeroAlloc covers the completion path too: with Release in
+// the loop, even sequence turnover allocates nothing at steady state.
+func TestEngineChurnZeroAlloc(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 8)
+	now := time.Duration(0)
+	churn := func() {
+		for i := 0; i < 8; i++ {
+			eng.Submit(now, 10, 2, nil)
+		}
+		for eng.Depth() > 0 {
+			res := eng.Step(now)
+			now += res.Duration
+			eng.Release(res.Completed...)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		churn() // warm ring, scratch, and free list
+	}
+	if allocs := testing.AllocsPerRun(100, churn); allocs != 0 {
+		t.Errorf("steady-state submit/step/release allocs = %v, want 0", allocs)
+	}
+}

@@ -60,8 +60,12 @@ func (l *LiveEngine) Generate(ctx context.Context, promptTok, outputTok int) Com
 		return Completion{Err: ErrClosed}
 	}
 	seq := l.eng.Submit(l.vnow(), promptTok, outputTok, nil)
+	// Capture the ID while holding the lock: once the completion is
+	// delivered the engine may recycle seq for a new request, so the
+	// pointer must not be dereferenced after unlock.
+	id := seq.ID
 	ch := make(chan Completion, 1)
-	l.waiters[seq.ID] = ch
+	l.waiters[id] = ch
 	l.mu.Unlock()
 
 	select {
@@ -74,8 +78,8 @@ func (l *LiveEngine) Generate(ctx context.Context, promptTok, outputTok int) Com
 		return c
 	case <-ctx.Done():
 		l.mu.Lock()
-		if l.eng.Abort(seq.ID) {
-			delete(l.waiters, seq.ID)
+		if l.eng.Abort(id) {
+			delete(l.waiters, id)
 		}
 		l.mu.Unlock()
 		return Completion{Err: ctx.Err()}
@@ -174,6 +178,9 @@ func (l *LiveEngine) loop() {
 				Latency:   seq.Latency(),
 			}})
 		}
+		// Everything a waiter needs is copied into deliveries; the finished
+		// sequences can go back to the engine's free list.
+		l.eng.Release(res.Completed...)
 		l.mu.Unlock()
 		for _, d := range deliveries {
 			d.ch <- d.c

@@ -77,6 +77,7 @@ func RunOffline(cfg OfflineConfig, reqs []workload.Request) (OfflineResult, erro
 			latencies = append(latencies, seq.FinishAt-start)
 			res.OutputTokens += int64(seq.Emitted)
 		}
+		eng.Release(step.Completed...)
 	}
 	res.GenerateTime = now - start
 	res.TotalTime = now

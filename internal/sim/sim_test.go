@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -258,5 +259,84 @@ func TestRNGForkIndependence(t *testing.T) {
 	}
 	if same == len(gVals) {
 		t.Error("fork replayed parent stream")
+	}
+}
+
+// TestKernelHeapStressVsReference drives the 4-ary heap with random delays
+// and checks full (time, seq) ordering against a sorted reference.
+func TestKernelHeapStressVsReference(t *testing.T) {
+	rng := NewRNG(12345)
+	k := NewKernel()
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var fired []stamp
+	const n = 5000
+	for i := 0; i < n; i++ {
+		i := i
+		d := time.Duration(rng.Intn(1000)) * time.Millisecond
+		k.Schedule(d, func() { fired = append(fired, stamp{k.Now(), i}) })
+	}
+	// Nested scheduling from inside events exercises mid-run pushes.
+	k.Schedule(500*time.Millisecond, func() {
+		for j := 0; j < 100; j++ {
+			j := j
+			k.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() {
+				fired = append(fired, stamp{k.Now(), n + 1 + j})
+			})
+		}
+	})
+	k.Run(0)
+	if len(fired) != n+100 {
+		t.Fatalf("fired %d events, want %d", len(fired), n+100)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("event %d fired at %v after %v", i, fired[i].at, fired[i-1].at)
+		}
+	}
+	// Same-instant events must preserve schedule (FIFO) order for the
+	// initial batch, where schedule order equals loop order.
+	byTime := map[Time][]int{}
+	for _, f := range fired {
+		if f.seq < n {
+			byTime[f.at] = append(byTime[f.at], f.seq)
+		}
+	}
+	for at, seqs := range byTime {
+		if !sort.IntsAreSorted(seqs) {
+			t.Fatalf("same-instant batch at %v not FIFO: %v", at, seqs)
+		}
+	}
+	if k.Pending() != 0 {
+		t.Errorf("pending = %d after exhaustion", k.Pending())
+	}
+}
+
+// TestKernelScheduleRunZeroAlloc pins the steady-state Schedule/Run loop at
+// zero allocations per event (the BenchmarkKernelEvents regression).
+func TestKernelScheduleRunZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	var fn func()
+	remaining := 0
+	fn = func() {
+		remaining--
+		if remaining > 0 {
+			k.Schedule(time.Microsecond, fn)
+		}
+	}
+	// Warm the heap's backing array.
+	remaining = 1000
+	k.Schedule(time.Microsecond, fn)
+	k.Run(0)
+
+	allocs := testing.AllocsPerRun(10, func() {
+		remaining = 1000
+		k.Schedule(time.Microsecond, fn)
+		k.Run(0)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule/Run allocs per 1000-event run = %v, want 0", allocs)
 	}
 }
