@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test bench
+.PHONY: all check fmt vet build test fuzz race bench bench-diff
 
 all: check
 
-# check is the tier-1 gate every PR must keep green.
-check: fmt vet build test
+# check is the tier-1 gate every PR must keep green; the brief fuzz pass
+# keeps malformed request bodies from ever panicking a handler.
+check: fmt vet build test fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -22,8 +23,23 @@ build:
 test:
 	$(GO) test ./...
 
+# fuzz briefly mutates the committed openaiapi seed corpus (testdata/fuzz).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime 3s ./internal/openaiapi
+
+# race runs the tier-1 suite under the race detector — the gate for the
+# sharded gateway front-end's parallel stress tests.
+race:
+	$(GO) test -race ./...
+
 # bench runs the micro/figure benchmarks and appends a BENCH_<n>.json perf
 # record so every PR extends the substrate's performance trajectory.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	$(GO) run ./cmd/first-bench -exp fig3 -json
+
+# bench-diff gates the trajectory: compares the two newest BENCH_<n>.json
+# records and fails on >20% ns/op (or wall) regressions or any allocs/op
+# increase.
+bench-diff:
+	$(GO) run ./cmd/first-bench -diff

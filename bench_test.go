@@ -145,6 +145,22 @@ func BenchmarkAblationRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkArrivalStorm regenerates the arrival-storm study: 10⁵–10⁶
+// distinct one-shot users flooding the gateway front-end, single lock vs
+// sharded admission.
+func BenchmarkArrivalStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunStorm(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Users == 1_000_000 {
+					b.ReportMetric(r.M.ReqPerSec, fmt.Sprintf("shards%d_req/s", r.Shards))
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkEngineStep measures the raw cost of one continuous-batching
 // iteration of the engine state machine (substrate micro-benchmark).
 func BenchmarkEngineStep(b *testing.B) {

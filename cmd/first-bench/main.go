@@ -2,7 +2,9 @@
 // evaluation (§5) on the simulated substrate and prints paper-vs-measured
 // rows. Independent experiment cells fan out across cores (-workers); run
 // with -exp to select one experiment, and -json to append a machine-readable
-// BENCH_<n>.json perf record alongside the human-readable report.
+// BENCH_<n>.json perf record alongside the human-readable report. -diff
+// compares the two newest records and fails on perf regressions (`make
+// bench-diff`).
 package main
 
 import (
@@ -14,12 +16,35 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|all")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload seed")
 	workers := flag.Int("workers", 0, "fleet goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	emitJSON := flag.Bool("json", false, "also write a BENCH_<n>.json perf record (always regenerates the full suite, regardless of -exp)")
 	jsonOut := flag.String("json-out", "", "explicit path for the JSON record (implies -json)")
+	diff := flag.Bool("diff", false, "compare the two newest BENCH_<n>.json records and exit 1 on perf regressions (skips the report)")
+	diffDir := flag.String("diff-dir", ".", "directory holding BENCH_<n>.json records for -diff")
 	flag.Parse()
+
+	if *diff {
+		regs, notice, err := experiments.DiffLatest(*diffDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if notice != "" {
+			fmt.Println(notice)
+		}
+		if len(regs) == 0 {
+			fmt.Println("bench-diff: no regressions")
+			return
+		}
+		fmt.Printf("bench-diff: %d regression(s) (>%.0f%% slower, or any extra allocs/op):\n",
+			len(regs), 100*experiments.WallRegressionThreshold)
+		for _, r := range regs {
+			fmt.Println("  " + r.String())
+		}
+		os.Exit(1)
+	}
 
 	fleet := experiments.Fleet{Workers: *workers}
 	if err := experiments.ReportOn(os.Stdout, *exp, *seed, fleet); err != nil {

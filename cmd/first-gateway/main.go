@@ -26,6 +26,7 @@ func main() {
 	scale := flag.Int64("scale", 1000, "clock speed-up factor for the simulated substrate")
 	persist := flag.String("persist", "", "directory for store snapshots (empty = in-memory only)")
 	configPath := flag.String("config", "", "installation config JSON (empty = paper's default testbed)")
+	shards := flag.Int("shards", 0, "gateway front-end shards (0 = GOMAXPROCS-derived, 1 = single-lock front-end); with -config use the file's gateway.shards")
 	flag.Parse()
 
 	var sys *core.System
@@ -33,7 +34,9 @@ func main() {
 	if *configPath != "" {
 		sys, err = core.NewSystemFromFile(*configPath, clock.NewScaled(*scale))
 	} else {
-		sys, err = core.DefaultTestbed(clock.NewScaled(*scale))
+		cfg := core.DefaultTestbedConfig(clock.NewScaled(*scale))
+		cfg.Gateway.Shards = *shards
+		sys, err = core.NewSystem(cfg)
 	}
 	if err != nil {
 		log.Fatalf("building installation: %v", err)

@@ -46,6 +46,9 @@ type FileGateway struct {
 	UserRatePerSec float64 `json:"user_rate_per_sec,omitempty"`
 	CacheTTLS      int     `json:"cache_ttl_s,omitempty"`
 	SyncLegacy     bool    `json:"sync_legacy,omitempty"`
+	// Shards splits the front-end's cache/limiter state N ways (0 =
+	// GOMAXPROCS-derived, 1 = single lock).
+	Shards int `json:"shards,omitempty"`
 }
 
 // LoadConfig reads a FileConfig from path.
@@ -108,6 +111,7 @@ func (fc FileConfig) ToSystemConfig() (Config, map[string]string) {
 			InFlightLimit:  fc.Gateway.InFlightLimit,
 			UserRatePerSec: fc.Gateway.UserRatePerSec,
 			CacheTTL:       time.Duration(fc.Gateway.CacheTTLS) * time.Second,
+			Shards:         fc.Gateway.Shards,
 		},
 	}
 	if fc.Gateway.SyncLegacy {

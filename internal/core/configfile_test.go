@@ -25,7 +25,7 @@ const sampleConfig = `{
     {"model": "meta-llama/Llama-3.3-70B-Instruct",
      "clusters": ["sophia"], "restrict_to_group": "big-model-users"}
   ],
-  "gateway": {"in_flight_limit": 256, "user_rate_per_sec": 50, "cache_ttl_s": 60}
+  "gateway": {"in_flight_limit": 256, "user_rate_per_sec": 50, "cache_ttl_s": 60, "shards": 4}
 }`
 
 func writeConfig(t *testing.T, content string) string {
@@ -110,6 +110,9 @@ func TestConfigGatewayTunables(t *testing.T) {
 	}
 	if cfg.Gateway.CacheTTL != time.Minute {
 		t.Errorf("cache ttl = %v", cfg.Gateway.CacheTTL)
+	}
+	if cfg.Gateway.Shards != 4 {
+		t.Errorf("shards = %d, want 4", cfg.Gateway.Shards)
 	}
 	if restricted[perfmodel.Llama70B] != "big-model-users" {
 		t.Errorf("restrictions = %v", restricted)

@@ -213,7 +213,13 @@ func (s *System) Close() {
 // Llama-8B as the second target (§4.5). The clock defaults to 1000× so
 // cold starts take milliseconds of wall time.
 func DefaultTestbed(clk clock.Clock) (*System, error) {
-	return NewSystem(Config{
+	return NewSystem(DefaultTestbedConfig(clk))
+}
+
+// DefaultTestbedConfig returns the paper-default installation declaration,
+// for callers that tweak knobs (gateway shards, rate limits) before building.
+func DefaultTestbedConfig(clk clock.Clock) Config {
+	return Config{
 		Clock: clk,
 		Clusters: []ClusterSpec{
 			{Name: "sophia", Nodes: 24, GPUsPerNode: 8},
@@ -237,5 +243,5 @@ func DefaultTestbed(clk clock.Clock) (*System, error) {
 			},
 		},
 		Gateway: gateway.Config{UserRatePerSec: 100},
-	})
+	}
 }

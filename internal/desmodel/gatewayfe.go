@@ -1,0 +1,99 @@
+package desmodel
+
+import (
+	"time"
+
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// GatewayFEParams model the gateway front-end's admission path in isolation:
+// once the serving substrate is fast, the front-end's lock discipline is what
+// bounds end-to-end throughput (§5.3.1's worker-model study, and the
+// single-coordinator failure mode Pronto identifies). Each request charges a
+// serialized critical section — cache lookup, limiter check, ID issue — on
+// one of Shards locks, then performs PostWork off-lock (fully parallel).
+type GatewayFEParams struct {
+	// Shards is the front-end lock count; 1 models the single-mutex
+	// front-end, larger values the sharded one.
+	Shards int
+	// CritSection is the per-request cost under a shard lock.
+	CritSection time.Duration
+	// PostWork is the per-request cost outside any lock (parse, marshal);
+	// it adds latency but never limits throughput.
+	PostWork time.Duration
+}
+
+// DefaultGatewayFEParams calibrate to a few microseconds of locked work per
+// request — a map lookup plus token-bucket arithmetic — so a single lock
+// caps admission at ~250k req/s.
+func DefaultGatewayFEParams(shards int) GatewayFEParams {
+	return GatewayFEParams{
+		Shards:      shards,
+		CritSection: 4 * time.Microsecond,
+		PostWork:    25 * time.Microsecond,
+	}
+}
+
+// GatewayFE is the front-end-only path on a kernel: requests hash to a
+// shard lane (a serialized queue charging CritSection per item) and complete
+// after PostWork. No engine sits behind it — the scenario isolates admission.
+type GatewayFE struct {
+	k      *sim.Kernel
+	p      GatewayFEParams
+	shards []*lane
+	mask   uint64
+	done   func(*Req)
+}
+
+// NewGatewayFE builds the front-end model. Shards is rounded up to a power
+// of two so request hashing is a mask, mirroring the live gateway.
+func NewGatewayFE(k *sim.Kernel, p GatewayFEParams, done func(*Req)) *GatewayFE {
+	n := 1
+	for n < p.Shards {
+		n <<= 1
+	}
+	s := &GatewayFE{k: k, p: p, mask: uint64(n - 1), done: done}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, newLane(k, p.CritSection))
+	}
+	return s
+}
+
+// splitmix64 spreads sequential user IDs uniformly over shards.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Arrive is one user's request hitting the front-end. The request's ID is
+// its user identity: an arrival storm is distinct one-shot users, so every
+// request hashes independently.
+func (s *GatewayFE) Arrive(r *Req) {
+	r.ArrivalAt = s.k.Now()
+	ln := s.shards[splitmix64(uint64(r.ID))&s.mask]
+	ln.enqueue(func() {
+		r.GatewayAt = s.k.Now()
+		s.k.Schedule(s.p.PostWork, func() {
+			r.CompletedAt = s.k.Now()
+			r.ObservedAt = r.CompletedAt
+			if s.done != nil {
+				s.done(r)
+			}
+		})
+	})
+}
+
+// PeakShardQueue reports the deepest backlog any shard lane reached — the
+// storm's observable congestion signal (the single-lock arm's queue grows
+// with the whole storm; sharded arms stay shallow).
+func (s *GatewayFE) PeakShardQueue() int {
+	peak := 0
+	for _, ln := range s.shards {
+		if ln.maxDepth > peak {
+			peak = ln.maxDepth
+		}
+	}
+	return peak
+}

@@ -1,0 +1,161 @@
+package experiments
+
+// Bench-regression gate: `make bench-diff` compares the two newest
+// BENCH_<n>.json perf records and fails when the substrate got slower —
+// the ROADMAP's perf-trajectory automation item.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WallRegressionThreshold is the relative slowdown tolerated on wall-clock
+// series (experiment wall_ms, micro ns_per_op) before bench-diff fails —
+// timing jitter is real; a >20% move is not jitter.
+const WallRegressionThreshold = 0.20
+
+// wallAbsToleranceMS is the absolute wall-clock floor under which a
+// relative move is ignored: a 2 ms experiment cell jitters past 20% on
+// scheduler noise alone, and a sub-5 ms swing is not a regression worth
+// failing CI over.
+const wallAbsToleranceMS = 5.0
+
+// nsAbsToleranceNs is the micro-benchmark equivalent of the wall floor: a
+// single-digit-ns hot path (kernel_event ≈ 8 ns/op) moves past 20% on CPU
+// frequency variance alone; a sub-5 ns swing is measurement, not code.
+const nsAbsToleranceNs = 5.0
+
+// allocAbsTolerance absorbs sub-allocation noise on averaged counts
+// (background runtime allocations divided by iteration count); any genuine
+// extra allocation per op shows up as ≥ 1.
+const allocAbsTolerance = 0.5
+
+// BenchRegression is one flagged series.
+type BenchRegression struct {
+	Series string // e.g. "micro/kernel_event ns_per_op"
+	Prev   float64
+	Cur    float64
+}
+
+func (r BenchRegression) String() string {
+	if r.Prev == 0 {
+		// Zero baselines are normal for pinned allocs_per_op series; a
+		// relative % would print +Inf.
+		return fmt.Sprintf("%-40s %12.2f -> %12.2f (was 0)", r.Series, r.Prev, r.Cur)
+	}
+	return fmt.Sprintf("%-40s %12.2f -> %12.2f (%+.0f%%)",
+		r.Series, r.Prev, r.Cur, 100*(r.Cur-r.Prev)/r.Prev)
+}
+
+// DiffBench flags regressions from prev to cur: any experiment whose
+// regeneration wall time or any micro-benchmark whose ns/op grew past the
+// threshold, and any micro-benchmark that allocates more per op than before
+// (allocation regressions have no tolerance — the data plane is pinned at
+// its budget). Series missing from either record are skipped, so v1 records
+// without a micro section still diff.
+func DiffBench(prev, cur BenchRecord) []BenchRegression {
+	var regs []BenchRegression
+	for _, name := range sortedKeys(prev.Experiments) {
+		p := prev.Experiments[name]
+		c, ok := cur.Experiments[name]
+		if !ok || p.WallMS <= 0 {
+			continue
+		}
+		if c.WallMS > p.WallMS*(1+WallRegressionThreshold) && c.WallMS-p.WallMS > wallAbsToleranceMS {
+			regs = append(regs, BenchRegression{Series: "experiments/" + name + " wall_ms", Prev: p.WallMS, Cur: c.WallMS})
+		}
+	}
+	for _, name := range sortedKeys(prev.Micro) {
+		p := prev.Micro[name]
+		c, ok := cur.Micro[name]
+		if !ok {
+			continue
+		}
+		if p.NsPerOp > 0 && c.NsPerOp > p.NsPerOp*(1+WallRegressionThreshold) && c.NsPerOp-p.NsPerOp > nsAbsToleranceNs {
+			regs = append(regs, BenchRegression{Series: "micro/" + name + " ns_per_op", Prev: p.NsPerOp, Cur: c.NsPerOp})
+		}
+		if c.AllocsPerOp > p.AllocsPerOp+allocAbsTolerance {
+			regs = append(regs, BenchRegression{Series: "micro/" + name + " allocs_per_op", Prev: p.AllocsPerOp, Cur: c.AllocsPerOp})
+		}
+	}
+	return regs
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ReadBench loads one record from path.
+func ReadBench(path string) (BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return BenchRecord{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// BenchPaths lists dir's BENCH_<n>.json files in ascending n order.
+func BenchPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n, filepath.Join(dir, name)})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths, nil
+}
+
+// DiffLatest diffs the two newest records in dir. With fewer than two
+// records there is nothing to compare: it reports ok with a notice.
+func DiffLatest(dir string) (regs []BenchRegression, notice string, err error) {
+	paths, err := BenchPaths(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(paths) < 2 {
+		return nil, fmt.Sprintf("found %d BENCH record(s) in %s; need 2 to diff", len(paths), dir), nil
+	}
+	prevPath, curPath := paths[len(paths)-2], paths[len(paths)-1]
+	prev, err := ReadBench(prevPath)
+	if err != nil {
+		return nil, "", err
+	}
+	cur, err := ReadBench(curPath)
+	if err != nil {
+		return nil, "", err
+	}
+	return DiffBench(prev, cur), fmt.Sprintf("comparing %s -> %s", filepath.Base(prevPath), filepath.Base(curPath)), nil
+}

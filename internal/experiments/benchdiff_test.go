@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func recWith(wall float64, ns float64, allocs float64) BenchRecord {
+	return BenchRecord{
+		Schema:      BenchSchema,
+		Experiments: map[string]BenchExperiment{"fig3": {WallMS: wall, Metrics: map[string]float64{"x": 1}}},
+		Micro:       map[string]MicroBench{"kernel_event": {NsPerOp: ns, AllocsPerOp: allocs}},
+	}
+}
+
+func TestDiffBenchFlagsWallRegression(t *testing.T) {
+	regs := DiffBench(recWith(100, 10, 0), recWith(125, 10, 0))
+	if len(regs) != 1 || regs[0].Series != "experiments/fig3 wall_ms" {
+		t.Errorf("regs = %v, want one wall_ms flag", regs)
+	}
+	// 15% is inside the jitter threshold.
+	if regs := DiffBench(recWith(100, 10, 0), recWith(115, 10, 0)); len(regs) != 0 {
+		t.Errorf("15%% wall move flagged: %v", regs)
+	}
+	// A 50% move on a 2 ms cell is scheduler noise, not a regression.
+	if regs := DiffBench(recWith(2, 10, 0), recWith(3, 10, 0)); len(regs) != 0 {
+		t.Errorf("sub-%vms wall move flagged: %v", wallAbsToleranceMS, regs)
+	}
+}
+
+func TestBenchRegressionStringZeroBaseline(t *testing.T) {
+	s := BenchRegression{Series: "micro/kernel_event allocs_per_op", Prev: 0, Cur: 1}.String()
+	if len(s) == 0 || s[len(s)-1] == '%' {
+		t.Errorf("zero-baseline rendering = %q, want no percentage", s)
+	}
+}
+
+func TestDiffBenchFlagsMicroNsRegression(t *testing.T) {
+	regs := DiffBench(recWith(100, 100, 0), recWith(100, 130, 0))
+	if len(regs) != 1 || regs[0].Series != "micro/kernel_event ns_per_op" {
+		t.Errorf("regs = %v, want one ns_per_op flag", regs)
+	}
+	// +22% on a single-digit-ns path is frequency variance, not code.
+	if regs := DiffBench(recWith(100, 8.2, 0), recWith(100, 10, 0)); len(regs) != 0 {
+		t.Errorf("sub-%vns move flagged: %v", nsAbsToleranceNs, regs)
+	}
+}
+
+func TestDiffBenchFlagsAnyAllocRegression(t *testing.T) {
+	// One extra allocation per op fails regardless of the 20% rule.
+	regs := DiffBench(recWith(100, 10, 0), recWith(100, 10, 1))
+	if len(regs) != 1 || regs[0].Series != "micro/kernel_event allocs_per_op" {
+		t.Errorf("regs = %v, want one allocs_per_op flag", regs)
+	}
+	// Sub-allocation measurement noise is not a regression.
+	if regs := DiffBench(recWith(100, 10, 0.01), recWith(100, 10, 0.3)); len(regs) != 0 {
+		t.Errorf("alloc noise flagged: %v", regs)
+	}
+}
+
+func TestDiffBenchImprovementsPass(t *testing.T) {
+	if regs := DiffBench(recWith(100, 10, 2), recWith(50, 5, 0)); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}
+
+func TestDiffBenchToleratesV1Records(t *testing.T) {
+	prev := recWith(100, 10, 0)
+	prev.Micro = nil // v1 record: no micro section
+	if regs := DiffBench(prev, recWith(100, 1e9, 50)); len(regs) != 0 {
+		t.Errorf("missing-baseline series flagged: %v", regs)
+	}
+}
+
+func TestBenchPathsOrdersNumerically(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_10.json", "BENCH_2.json", "BENCH_1.json", "notes.txt", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := BenchPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i, p := range paths {
+		if filepath.Base(p) != want[i] {
+			t.Errorf("paths[%d] = %s, want %s", i, filepath.Base(p), want[i])
+		}
+	}
+}
+
+func TestDiffLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, notice, err := DiffLatest(dir); err != nil || notice == "" {
+		t.Errorf("empty dir: notice=%q err=%v", notice, err)
+	}
+	if err := WriteBench(recWith(100, 10, 0), filepath.Join(dir, "BENCH_1.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(recWith(150, 10, 0), filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Fatal(err)
+	}
+	regs, notice, err := DiffLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Errorf("regs = %v (notice %q)", regs, notice)
+	}
+}
+
+func TestCollectMicroCoversSubstrate(t *testing.T) {
+	micro := CollectMicro()
+	for _, name := range []string{"kernel_event", "engine_step", "counter_inc", "workload_gen_100"} {
+		m, ok := micro[name]
+		if !ok {
+			t.Errorf("missing micro series %q", name)
+			continue
+		}
+		if m.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v", name, m.NsPerOp)
+		}
+	}
+	// The zero-allocation pins from the PR-1 substrate hold in the record
+	// too: kernel events, engine steps, and counter increments must not
+	// allocate at steady state.
+	for _, name := range []string{"kernel_event", "engine_step", "counter_inc"} {
+		if m := micro[name]; m.AllocsPerOp > 0.5 {
+			t.Errorf("%s allocates %.2f/op, want ~0", name, m.AllocsPerOp)
+		}
+	}
+}

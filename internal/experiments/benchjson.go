@@ -9,8 +9,9 @@ import (
 	"time"
 )
 
-// BenchSchema versions the BENCH_<n>.json layout.
-const BenchSchema = "first-bench/v1"
+// BenchSchema versions the BENCH_<n>.json layout. v2 adds the micro
+// section (substrate ns/op + allocs/op) that `make bench-diff` guards.
+const BenchSchema = "first-bench/v2"
 
 // BenchExperiment is one experiment's entry in a bench record: how long the
 // regeneration took and its headline measurements (the same series
@@ -34,6 +35,9 @@ type BenchRecord struct {
 	Workers     int                        `json:"workers"` // 0 = GOMAXPROCS
 	WallMS      float64                    `json:"wall_ms"`
 	Experiments map[string]BenchExperiment `json:"experiments"`
+	// Micro holds substrate micro-benchmarks (per-op cost + allocations);
+	// absent in v1 records, which bench-diff tolerates.
+	Micro map[string]MicroBench `json:"micro,omitempty"`
 }
 
 // CollectBench regenerates every experiment on f and returns the record.
@@ -136,7 +140,21 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		}
 		return m
 	})
+	timed("storm", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunStormOn(f, seed) {
+			if r.Users == 1_000_000 {
+				m[fmt.Sprintf("shards%d_req_s", r.Shards)] = r.M.ReqPerSec
+				m[fmt.Sprintf("shards%d_p99_s", r.Shards)] = r.M.P99LatS
+			}
+		}
+		return m
+	})
+	// WallMS keeps its v1 meaning — experiment regeneration time only — so
+	// the headline number stays comparable across records; the micro pass
+	// times itself per series.
 	rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	rec.Micro = CollectMicro()
 	return rec
 }
 

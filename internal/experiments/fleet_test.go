@@ -91,7 +91,7 @@ func TestBenchRecordRoundTrip(t *testing.T) {
 	if rec.Schema != BenchSchema {
 		t.Errorf("schema = %q", rec.Schema)
 	}
-	for _, name := range []string{"fig3", "fig4", "fig5", "table1", "batch", "opt1", "opt2", "opt3", "routing"} {
+	for _, name := range []string{"fig3", "fig4", "fig5", "table1", "batch", "opt1", "opt2", "opt3", "routing", "storm"} {
 		exp, ok := rec.Experiments[name]
 		if !ok {
 			t.Errorf("missing experiment %q", name)

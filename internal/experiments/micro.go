@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/argonne-first/first/internal/metrics"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/serving"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// MicroBench is one substrate micro-benchmark's record entry: the raw
+// per-operation cost of a data-plane hot path, with its allocation count —
+// the series `make bench-diff` guards against regressions.
+type MicroBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// measureMicro times iters executions of op and reports per-op cost and
+// heap traffic. It is self-contained (no testing.B) so first-bench can emit
+// the numbers into BENCH_<n>.json from a plain binary.
+func measureMicro(iters int, op func()) MicroBench {
+	op() // warm up: first-call allocations (lazy tables) are not steady state
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return MicroBench{
+		NsPerOp:     float64(wall.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+}
+
+// CollectMicro runs the substrate micro-benchmarks (the same hot paths the
+// Go benchmarks in bench_test.go cover) and returns their record section.
+func CollectMicro() map[string]MicroBench {
+	out := make(map[string]MicroBench)
+
+	// DES kernel: one schedule+dispatch round trip.
+	k := sim.NewKernel()
+	out["kernel_event"] = measureMicro(200000, func() {
+		k.Schedule(time.Microsecond, func() {})
+		k.Run(0)
+	})
+
+	// Serving engine: one continuous-batching iteration at saturation.
+	model := perfmodel.Default.MustLookup(perfmodel.Llama8B)
+	eng, err := serving.NewEngine(serving.Config{Model: model, GPU: perfmodel.A100_40})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 512; i++ {
+		eng.Submit(0, 100, 1<<20, nil)
+	}
+	var now time.Duration
+	out["engine_step"] = measureMicro(20000, func() {
+		res := eng.Step(now)
+		now += res.Duration
+	})
+
+	// Metrics: one striped counter increment (the per-request metric cost).
+	var ctr metrics.Counter
+	out["counter_inc"] = measureMicro(1000000, ctr.Inc)
+
+	// Workload synthesis: one 100-request ShareGPT trace.
+	seed := int64(0)
+	out["workload_gen_100"] = measureMicro(200, func() {
+		seed++
+		workload.Generate(100, workload.ShareGPT(), workload.Poisson(10), seed)
+	})
+	return out
+}

@@ -53,10 +53,26 @@ func ReportOn(w io.Writer, which string, seed int64, f Fleet) error {
 		ReportRouting(w, RunAblationRoutingOn(f, seed))
 		ran = true
 	}
+	if all || which == "storm" {
+		ReportStorm(w, RunStormOn(f, seed))
+		ran = true
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|all)", which)
 	}
 	return nil
+}
+
+// ReportStorm prints the arrival-storm study: front-end admission under a
+// flood of distinct one-shot users, single lock vs sharded.
+func ReportStorm(w io.Writer, rows []StormRow) {
+	fmt.Fprintf(w, "== Arrival storm: gateway front-end admission, %.0g req/s offered, sharded vs single lock ==\n", StormRatePerSec)
+	fmt.Fprintln(w, "users     shards  adm-req/s   med-lat(us)   p99-lat(us)  peak-shard-queue")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9d %-6d %10.0f  %11.1f  %11.1f  %12d\n",
+			r.Users, r.Shards, r.M.ReqPerSec, r.M.MedianLatS*1e6, r.M.P99LatS*1e6, r.PeakShardQueue)
+	}
+	fmt.Fprintln(w)
 }
 
 // ReportRouting prints the routing-policy ablation.

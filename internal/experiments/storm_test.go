@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStormShardedAbsorbsWhatSingleLockCannot is the scenario's headline
+// property: at 4× a single lock's admission capacity, the sharded front-end
+// must sustain (close to) the offered storm while the single lock caps out,
+// with the gap visible in both throughput and tail latency.
+func TestStormShardedAbsorbsWhatSingleLockCannot(t *testing.T) {
+	rows := RunStormOn(Parallel, DefaultSeed)
+	byCell := map[[2]int]StormRow{}
+	for _, r := range rows {
+		byCell[[2]int{r.Users, r.Shards}] = r
+	}
+	for _, users := range StormUserCounts {
+		single, ok1 := byCell[[2]int{users, 1}]
+		sharded, ok16 := byCell[[2]int{users, 16}]
+		if !ok1 || !ok16 {
+			t.Fatalf("users=%d: missing arm (have %v)", users, rows)
+		}
+		if single.M.Completed != users || sharded.M.Completed != users {
+			t.Errorf("users=%d: completions single=%d sharded=%d, want all %d",
+				users, single.M.Completed, sharded.M.Completed, users)
+		}
+		// The single lock admits ~1/CritSection ≈ 250k req/s; the storm
+		// offers 1M/s. Sharded must clear at least 3× the single-lock rate.
+		if sharded.M.ReqPerSec < 3*single.M.ReqPerSec {
+			t.Errorf("users=%d: sharded %.0f req/s vs single-lock %.0f req/s, want ≥ 3×",
+				users, sharded.M.ReqPerSec, single.M.ReqPerSec)
+		}
+		if sharded.M.P99LatS > single.M.P99LatS/10 {
+			t.Errorf("users=%d: sharded p99 %.6fs vs single-lock p99 %.6fs, want ≤ 1/10",
+				users, sharded.M.P99LatS, single.M.P99LatS)
+		}
+		if single.PeakShardQueue < 10*sharded.PeakShardQueue {
+			t.Errorf("users=%d: peak queue single=%d sharded=%d, want single ≥ 10× sharded",
+				users, single.PeakShardQueue, sharded.PeakShardQueue)
+		}
+	}
+}
+
+// TestStormArmsFaceIdenticalArrivals checks comparability: the shard arms of
+// one storm size must see byte-identical arrival processes (the arrival RNG
+// depends only on seed and storm size).
+func TestStormArmsFaceIdenticalArrivals(t *testing.T) {
+	rows := RunStormOn(Sequential, DefaultSeed)
+	for _, users := range StormUserCounts {
+		var requests []int
+		for _, r := range rows {
+			if r.Users == users {
+				requests = append(requests, r.M.Requests)
+			}
+		}
+		if len(requests) != len(StormShardCounts) {
+			t.Fatalf("users=%d: %d arms", users, len(requests))
+		}
+		for _, n := range requests {
+			if n != users {
+				t.Errorf("users=%d: arm saw %d requests", users, n)
+			}
+		}
+	}
+}
+
+// TestFleetDeterminismStorm extends the fleet determinism property to the
+// storm cells: parallel regeneration must match the sequential reference.
+func TestFleetDeterminismStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the storm twice")
+	}
+	seq := RunStormOn(Sequential, DefaultSeed)
+	par := RunStormOn(Fleet{Workers: 8}, DefaultSeed)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("storm parallel results diverge from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -23,8 +23,16 @@ type testFabric struct {
 }
 
 func newTestFabric(t *testing.T, hubCfg HubConfig, nodes int) *testFabric {
+	return newTestFabricScaled(t, hubCfg, nodes, 20000)
+}
+
+// newTestFabricScaled lets timing-sensitive tests pick a slower clock:
+// at 20000× a few wall milliseconds of goroutine scheduling skew (e.g.
+// under -race) becomes minutes of virtual time, which can drain a queue
+// the test needs to observe deep.
+func newTestFabricScaled(t *testing.T, hubCfg HubConfig, nodes int, factor int64) *testFabric {
 	t.Helper()
-	clk := clock.NewScaled(20000)
+	clk := clock.NewScaled(factor)
 	cl := cluster.New("testcl", nodes, 8, perfmodel.A100_40)
 	sched := scheduler.New(cl, clk, scheduler.Config{Prologue: 5 * time.Second})
 	ep, err := NewEndpoint(EndpointConfig{
@@ -178,7 +186,10 @@ func TestHotNodeIdleRelease(t *testing.T) {
 }
 
 func TestAutoScaleUpUnderLoad(t *testing.T) {
-	f := newTestFabric(t, HubConfig{}, 4)
+	// 200× clock (not the usual 20000×): the test needs the 200 requests to
+	// land while earlier ones still run, so wall-clock goroutine-spawn skew
+	// (heavy under -race) must not turn into queue-draining virtual hours.
+	f := newTestFabricScaled(t, HubConfig{}, 4, 200)
 	d := f.deploy(t, DeploymentConfig{
 		Model:           perfmodel.Llama8B,
 		MinInstances:    1,
@@ -187,7 +198,7 @@ func TestAutoScaleUpUnderLoad(t *testing.T) {
 		AutoScalePeriod: 2 * time.Second,
 	})
 	c := f.client()
-	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 1200*time.Second)
 	defer cancel()
 
 	var wg sync.WaitGroup

@@ -5,15 +5,21 @@
 // converts requests into fabric tasks routed by the federation layer,
 // logs all activity to the store, and exposes metrics, a dashboard, the
 // /jobs scheduler view, and the /v1/batches batch mode.
+//
+// The front-end's mutable state (response cache, per-user rate limiters,
+// response ID counter) is sharded — see frontend.go — so parallel handlers
+// never serialize on one lock; Config.Shards tunes the split (1 = the
+// historical single-mutex behaviour).
 package gateway
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/bits"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -64,6 +70,18 @@ type Config struct {
 	CacheTTL time.Duration
 	// DefaultMaxTokens applies when requests omit max_tokens.
 	DefaultMaxTokens int
+	// Shards is the front-end shard count: response cache, limiter table,
+	// and their locks split N ways (N rounded up to a power of two).
+	// 0 derives from GOMAXPROCS; 1 reproduces the single-lock front-end.
+	Shards int
+	// CacheEntries bounds the response cache across all shards
+	// (default 4096, the historical bound — but per-shard LRU instead of
+	// wipe-on-overflow). Each shard holds at least one entry, so the
+	// effective bound is max(CacheEntries, Shards).
+	CacheEntries int
+	// LimiterIdleTTL evicts per-user rate-limiter buckets idle longer than
+	// this (default 15 min), so one-shot users don't grow the table forever.
+	LimiterIdleTTL time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -79,6 +97,35 @@ func (c *Config) applyDefaults() {
 	if c.DefaultMaxTokens <= 0 {
 		c.DefaultMaxTokens = 128
 	}
+	if c.Shards <= 0 {
+		c.Shards = defaultShards()
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.LimiterIdleTTL <= 0 {
+		c.LimiterIdleTTL = 15 * time.Minute
+	}
+}
+
+// defaultShards sizes the front-end to the machine: the next power of two
+// at or above GOMAXPROCS, capped at 64 (beyond that the shard working set
+// costs more in cache misses than it saves in lock contention).
+func defaultShards() int {
+	n := ceilPow2(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the nearest power of two (minimum 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // Server is the gateway.
@@ -94,19 +141,12 @@ type Server struct {
 	catalog *perfmodel.Catalog
 	met     *metrics.Registry
 
-	mux  *http.ServeMux
-	sem  chan struct{} // worker-model semaphore
-	next int64
+	mux *http.ServeMux
+	sem chan struct{} // worker-model semaphore
+	fe  *frontend     // sharded mutable front-end state
 
-	mu        sync.Mutex
-	respCache map[string]cacheEntry
-	limiters  map[string]*userLimiter
-	tools     map[string][]ToolRoute
-}
-
-type cacheEntry struct {
-	body    []byte
-	expires time.Time
+	toolsMu sync.Mutex // tools registration is control-plane, not sharded
+	tools   map[string][]ToolRoute
 }
 
 // Deps bundles the gateway's collaborators.
@@ -138,19 +178,18 @@ func New(cfg Config, deps Deps) (*Server, error) {
 		deps.Policy = auth.NewPolicy("")
 	}
 	s := &Server{
-		cfg:       cfg,
-		clk:       deps.Clock,
-		tokens:    deps.Tokens,
-		policy:    deps.Policy,
-		router:    deps.Router,
-		client:    deps.Client,
-		batches:   deps.Batches,
-		st:        deps.Store,
-		catalog:   deps.Catalog,
-		met:       deps.Metrics,
-		mux:       http.NewServeMux(),
-		respCache: make(map[string]cacheEntry),
-		limiters:  make(map[string]*userLimiter),
+		cfg:     cfg,
+		clk:     deps.Clock,
+		tokens:  deps.Tokens,
+		policy:  deps.Policy,
+		router:  deps.Router,
+		client:  deps.Client,
+		batches: deps.Batches,
+		st:      deps.Store,
+		catalog: deps.Catalog,
+		met:     deps.Metrics,
+		mux:     http.NewServeMux(),
+		fe:      newFrontend(cfg, deps.Clock),
 	}
 	workers := cfg.InFlightLimit
 	if cfg.WorkerModel == WorkerSyncLegacy {
@@ -249,38 +288,7 @@ func errString(err error) string {
 	return err.Error()
 }
 
-type userLimiter struct {
-	mu     sync.Mutex
-	tokens float64
-	last   time.Time
-}
-
-func (s *Server) allowUser(sub string) bool {
-	s.mu.Lock()
-	lim, ok := s.limiters[sub]
-	if !ok {
-		lim = &userLimiter{tokens: s.cfg.UserBurst, last: s.clk.Now()}
-		s.limiters[sub] = lim
-	}
-	s.mu.Unlock()
-
-	lim.mu.Lock()
-	defer lim.mu.Unlock()
-	now := s.clk.Now()
-	elapsed := now.Sub(lim.last).Seconds()
-	if elapsed > 0 {
-		lim.tokens += elapsed * s.cfg.UserRatePerSec
-		if lim.tokens > s.cfg.UserBurst {
-			lim.tokens = s.cfg.UserBurst
-		}
-		lim.last = now
-	}
-	if lim.tokens >= 1 {
-		lim.tokens--
-		return true
-	}
-	return false
-}
+func (s *Server) allowUser(sub string) bool { return s.fe.allowUser(sub) }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, typ, msg string) {
 	w.Header().Set("Content-Type", "application/json")
@@ -294,44 +302,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// cacheKey hashes user+body for the response cache.
-func cacheKey(sub string, body []byte) string {
-	h := sha256.Sum256(append([]byte(sub+"\x00"), body...))
-	return hex.EncodeToString(h[:])
+// cacheKey hashes user+body for the response cache. One buffer allocation;
+// the digest itself is the map key.
+func cacheKey(sub string, body []byte) respKey {
+	buf := make([]byte, 0, len(sub)+1+len(body))
+	buf = append(buf, sub...)
+	buf = append(buf, 0)
+	buf = append(buf, body...)
+	return sha256.Sum256(buf)
 }
 
-func (s *Server) cacheGet(key string) ([]byte, bool) {
-	if s.cfg.CacheTTL <= 0 {
-		return nil, false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.respCache[key]
-	if !ok || s.clk.Now().After(e.expires) {
-		if ok {
-			delete(s.respCache, key)
-		}
-		return nil, false
-	}
-	return e.body, true
-}
+func (s *Server) cacheGet(key respKey) ([]byte, bool) { return s.fe.cacheGet(key) }
 
-func (s *Server) cachePut(key string, body []byte) {
-	if s.cfg.CacheTTL <= 0 {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.respCache) > 4096 { // crude bound; real deployment uses Redis
-		s.respCache = make(map[string]cacheEntry)
-	}
-	s.respCache[key] = cacheEntry{body: body, expires: s.clk.Now().Add(s.cfg.CacheTTL)}
-}
+func (s *Server) cachePut(key respKey, body []byte) { s.fe.cachePut(key, body) }
 
-func (s *Server) nextID(prefix string) string {
-	s.mu.Lock()
-	s.next++
-	n := s.next
-	s.mu.Unlock()
-	return fmt.Sprintf("%s-%08d", prefix, n)
-}
+func (s *Server) nextID(prefix string) string { return s.fe.nextID(prefix) }

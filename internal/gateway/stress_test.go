@@ -1,0 +1,246 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/gateway"
+	"github.com/argonne-first/first/internal/perfmodel"
+)
+
+// stressFixture boots a testbed and logs in n distinct users.
+func stressFixture(t *testing.T, cfg gateway.Config, clockScale int64, n int) (*core.System, []string) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Clock: clock.NewScaled(clockScale),
+		Clusters: []core.ClusterSpec{
+			{Name: "sophia", Nodes: 4, GPUsPerNode: 8},
+		},
+		Deployments: []core.DeploymentSpec{
+			{Model: perfmodel.Llama8B, Clusters: []string{"sophia"},
+				Config: fabric.DeploymentConfig{MinInstances: 1, MaxInstances: 1}},
+		},
+		Gateway: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	tokens := make([]string, n)
+	for i := range tokens {
+		sub := fmt.Sprintf("stress-u%d", i)
+		if err := sys.RegisterUser(sub, sub+"@anl.gov"); err != nil {
+			t.Fatal(err)
+		}
+		grant, err := sys.Login(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[i] = grant.AccessToken
+	}
+	return sys, tokens
+}
+
+// TestGatewayParallelStress fires authenticated requests from parallel
+// goroutines across front-end shards and asserts the invariants the sharding
+// must preserve: cache hits still hit, rate limiting still rejects, the
+// overload window still 503s, and response IDs stay process-unique. Run
+// under `make race` this is the front-end's data-race gate.
+func TestGatewayParallelStress(t *testing.T) {
+	t.Run("cache-hits-and-unique-ids", func(t *testing.T) {
+		const users, perUser = 12, 14
+		sys, tokens := stressFixture(t, gateway.Config{
+			CacheTTL:       time.Hour,
+			UserRatePerSec: 1000, // exercised on every request, never rejects
+			Shards:         8,
+		}, 20000, users)
+
+		type result struct {
+			code   int
+			id     string
+			cached bool
+		}
+		results := make([][]result, users)
+		var wg sync.WaitGroup
+		wg.Add(users)
+		for u := 0; u < users; u++ {
+			go func(u int) {
+				defer wg.Done()
+				shared := `{"model":"` + perfmodel.Llama8B + `","messages":[{"role":"user","content":"storm question"}],"max_tokens":4}`
+				out := make([]result, 0, perUser)
+				for i := 0; i < perUser; i++ {
+					body := shared
+					if i%2 == 1 { // odd iterations: unique body → unique response ID
+						body = fmt.Sprintf(`{"model":"%s","messages":[{"role":"user","content":"unique %d-%d"}],"max_tokens":4}`, perfmodel.Llama8B, u, i)
+					}
+					rec := doRaw(t, sys, "POST", "/v1/chat/completions", tokens[u], body)
+					r := result{code: rec.Code, cached: rec.Header().Get("X-First-Cache") == "hit"}
+					if rec.Code == http.StatusOK {
+						var resp struct {
+							ID string `json:"id"`
+						}
+						if err := json.Unmarshal(rec.Body.Bytes(), &resp); err == nil {
+							r.id = resp.ID
+						}
+					}
+					out = append(out, r)
+				}
+				results[u] = out
+			}(u)
+		}
+		wg.Wait()
+
+		ids := make(map[string]int)
+		var hits int
+		for u, out := range results {
+			for i, r := range out {
+				if r.code != http.StatusOK {
+					t.Errorf("user %d req %d: code %d, want 200", u, i, r.code)
+				}
+				if r.cached {
+					hits++
+					continue // a cache hit replays a stored body: same ID by design
+				}
+				if r.id == "" {
+					t.Errorf("user %d req %d: 200 without an id", u, i)
+					continue
+				}
+				ids[r.id]++
+			}
+		}
+		for id, n := range ids {
+			if n > 1 {
+				t.Errorf("response ID %q issued %d times", id, n)
+			}
+		}
+		// Each user's shared body repeats sequentially after its first
+		// completion; the cache key is user-scoped, so hits must show up.
+		if hits == 0 {
+			t.Error("no cache hits across the parallel run")
+		}
+		if got := sys.Gateway.Metrics().Counter("cache_hits").Value(); got < int64(hits) {
+			t.Errorf("cache_hits counter %d < observed hits %d", got, hits)
+		}
+	})
+
+	t.Run("rate-limit-rejections", func(t *testing.T) {
+		const users, perUser = 8, 10
+		sys, tokens := stressFixture(t, gateway.Config{
+			UserRatePerSec: 0.0001, // refill is negligible: burst then reject
+			UserBurst:      1,
+			Shards:         8,
+		}, 20000, users)
+		limited := make([]int, users)
+		var wg sync.WaitGroup
+		wg.Add(users)
+		for u := 0; u < users; u++ {
+			go func(u int) {
+				defer wg.Done()
+				for i := 0; i < perUser; i++ {
+					rec := doRaw(t, sys, "GET", "/v1/models", tokens[u], "")
+					switch rec.Code {
+					case http.StatusOK:
+					case http.StatusTooManyRequests:
+						limited[u]++
+					default:
+						t.Errorf("user %d: code %d", u, rec.Code)
+					}
+				}
+			}(u)
+		}
+		wg.Wait()
+		for u, n := range limited {
+			if n < perUser/2 {
+				t.Errorf("user %d: %d/%d rate-limited, want ≥ %d (burst 1)", u, n, perUser, perUser/2)
+			}
+		}
+		if sys.Gateway.Metrics().Counter("rate_limited").Value() == 0 {
+			t.Error("rate_limited counter never incremented")
+		}
+	})
+
+	t.Run("overload-503", func(t *testing.T) {
+		const workers, perWorker = 16, 6
+		// Scale 1000 with 2 s of virtual per-request overhead = ~2 ms of
+		// wall time holding one of the two in-flight slots.
+		sys, tokens := stressFixture(t, gateway.Config{
+			InFlightLimit:      2,
+			ProcessingOverhead: 2 * time.Second,
+			Shards:             4,
+		}, 1000, workers)
+		var mu sync.Mutex
+		var overloaded, ok int
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for u := 0; u < workers; u++ {
+			go func(u int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					rec := doRaw(t, sys, "GET", "/v1/models", tokens[u], "")
+					mu.Lock()
+					switch rec.Code {
+					case http.StatusOK:
+						ok++
+					case http.StatusServiceUnavailable:
+						overloaded++
+					default:
+						t.Errorf("user %d: code %d, want 200 or 503", u, rec.Code)
+					}
+					mu.Unlock()
+				}
+			}(u)
+		}
+		wg.Wait()
+		if ok == 0 {
+			t.Error("no request made it through the overload window")
+		}
+		if overloaded == 0 {
+			t.Error("no 503 with a 2-slot window under 16 parallel clients")
+		}
+		if got := sys.Gateway.Metrics().Counter("overloaded").Value(); got != int64(overloaded) {
+			t.Errorf("overloaded counter %d, observed %d", got, overloaded)
+		}
+	})
+}
+
+// TestShardsOneReproducesSingleLockBehaviour pins the compatibility knob:
+// with Shards=1 the gateway behaves exactly like the historical single-lock
+// front-end on the same request sequence (cache hit on repeat, limiter
+// burst accounting).
+func TestShardsOneReproducesSingleLockBehaviour(t *testing.T) {
+	sys, tokens := stressFixture(t, gateway.Config{
+		CacheTTL:       time.Hour,
+		UserRatePerSec: 0.0001,
+		UserBurst:      3,
+		Shards:         1,
+	}, 20000, 1)
+	body := `{"model":"` + perfmodel.Llama8B + `","messages":[{"role":"user","content":"single lock"}],"max_tokens":4}`
+	codes := make([]int, 0, 6)
+	var hits int
+	for i := 0; i < 6; i++ {
+		rec := doRaw(t, sys, "POST", "/v1/chat/completions", tokens[0], body)
+		codes = append(codes, rec.Code)
+		if rec.Header().Get("X-First-Cache") == "hit" {
+			hits++
+		}
+	}
+	// Burst 3: three admitted (first computes, next two replay from cache),
+	// then rejections.
+	want := []int{200, 200, 200, 429, 429, 429}
+	for i, c := range codes {
+		if c != want[i] {
+			t.Errorf("request %d: code %d, want %d (got %v)", i, c, want[i], codes)
+			break
+		}
+	}
+	if hits != 2 {
+		t.Errorf("cache hits = %d, want 2", hits)
+	}
+}

@@ -46,8 +46,8 @@ type ToolRoute struct {
 // RegisterTool exposes a pre-registered endpoint function through the
 // gateway. The function must already exist on the endpoint.
 func (s *Server) RegisterTool(route ToolRoute) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.toolsMu.Lock()
+	defer s.toolsMu.Unlock()
 	if s.tools == nil {
 		s.tools = make(map[string][]ToolRoute)
 	}
@@ -55,8 +55,8 @@ func (s *Server) RegisterTool(route ToolRoute) {
 }
 
 func (s *Server) toolRoutes(name string) []ToolRoute {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.toolsMu.Lock()
+	defer s.toolsMu.Unlock()
 	return append([]ToolRoute(nil), s.tools[name]...)
 }
 
@@ -127,7 +127,7 @@ func (s *Server) handleTool(w http.ResponseWriter, r *http.Request, who auth.Tok
 
 // handleListTools serves GET /v1/tools.
 func (s *Server) handleListTools(w http.ResponseWriter, r *http.Request, who auth.TokenInfo) {
-	s.mu.Lock()
+	s.toolsMu.Lock()
 	out := struct {
 		Object string   `json:"object"`
 		Data   []string `json:"data"`
@@ -135,7 +135,7 @@ func (s *Server) handleListTools(w http.ResponseWriter, r *http.Request, who aut
 	for name := range s.tools {
 		out.Data = append(out.Data, name)
 	}
-	s.mu.Unlock()
+	s.toolsMu.Unlock()
 	sort.Strings(out.Data)
 	s.writeJSON(w, http.StatusOK, out)
 }

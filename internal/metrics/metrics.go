@@ -3,13 +3,14 @@
 // grouped in registries whose snapshots feed the dashboard and the /metrics
 // endpoint.
 //
-// Histograms are sharded: observations scatter across independently locked
-// slots so the serving data plane never serializes on a single histogram
-// mutex, and every histogram shares one immutable package-level bucket
-// bounds table instead of recomputing (and re-allocating) the exponential
-// layout per instance. Reads merge the shards; they are monitoring-grade
-// (each shard is internally consistent, the merge is not a global atomic
-// snapshot).
+// Counters and histograms are sharded: counter increments scatter across
+// cache-line-padded atomic stripes, and histogram observations scatter
+// across independently locked slots, so the serving data plane never
+// serializes (or false-shares) on a single hot metric. Every histogram
+// shares one immutable package-level bucket bounds table instead of
+// recomputing (and re-allocating) the exponential layout per instance.
+// Reads merge the shards; they are monitoring-grade (each shard is
+// internally consistent, the merge is not a global atomic snapshot).
 package metrics
 
 import (
@@ -23,23 +24,47 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing counter.
-type Counter struct {
+// counterStripes is the number of independently updated slots per counter.
+// Power of two so slot selection is a mask.
+const counterStripes = 8
+
+// counterStripe pads each atomic onto its own cache line so concurrent
+// Inc calls on different stripes never bounce the same line between cores.
+type counterStripe struct {
 	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter. Increments scatter across
+// cache-line-padded stripes (the same scheme as Histogram's observation
+// shards), so hot counters on parallel handler paths — http_requests,
+// cache_hits — don't serialize every core on one contended line; reads sum
+// the stripes.
+type Counter struct {
+	stripes [counterStripes]counterStripe
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	c.stripes[mrand.Uint64()&(counterStripes-1)].v.Add(1)
+}
 
 // Add adds n (negative values are ignored to preserve monotonicity).
 func (c *Counter) Add(n int64) {
 	if n > 0 {
-		c.v.Add(n)
+		c.stripes[mrand.Uint64()&(counterStripes-1)].v.Add(n)
 	}
 }
 
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+// Value returns the current count. Each stripe is read atomically; the sum
+// is monitoring-grade (not a global atomic snapshot), like Histogram reads.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
 
 // Gauge is an instantaneous value.
 type Gauge struct {

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestCounterStripesSpread checks increments actually scatter: after many
+// Incs at least two stripes must hold counts (one stripe would mean the
+// padding is paying for nothing).
+func TestCounterStripesSpread(t *testing.T) {
+	var c Counter
+	for i := 0; i < 10000; i++ {
+		c.Inc()
+	}
+	used := 0
+	for i := range c.stripes {
+		if c.stripes[i].v.Load() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("10000 Incs landed on %d stripe(s), want scatter across ≥ 2", used)
+	}
+	if c.Value() != 10000 {
+		t.Errorf("Value() = %d, want 10000", c.Value())
+	}
+}
+
+// TestCounterAllocFree pins the hot increment path at zero allocations —
+// the same budget as the engine/kernel hot paths.
+func TestCounterAllocFree(t *testing.T) {
+	var c Counter
+	if got := testing.AllocsPerRun(1000, c.Inc); got != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() { c.Add(3) }); got != 0 {
+		t.Errorf("Counter.Add allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestCounterParallelSum is the striped counter's correctness property: no
+// increment may be lost whatever the interleaving.
+func TestCounterParallelSum(t *testing.T) {
+	var c Counter
+	workers := runtime.GOMAXPROCS(0) * 2
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(workers * perWorker); c.Value() != want {
+		t.Errorf("parallel sum = %d, want %d", c.Value(), want)
+	}
+}
+
+// BenchmarkCounterInc measures the striped hot path under parallel load
+// (-cpu 1,4,8 shows the scatter avoiding a single contended cache line).
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
