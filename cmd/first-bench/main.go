@@ -13,12 +13,14 @@ import (
 	"os"
 
 	"github.com/argonne-first/first/internal/experiments"
+	"github.com/argonne-first/first/internal/sim"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|all")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload seed")
 	workers := flag.Int("workers", 0, "fleet goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	queue := flag.String("queue", "calendar", "kernel event queue: calendar|heap (heap is the reference; outputs must be byte-identical)")
 	emitJSON := flag.Bool("json", false, "also write a BENCH_<n>.json perf record (always regenerates the full suite, regardless of -exp)")
 	jsonOut := flag.String("json-out", "", "explicit path for the JSON record (implies -json)")
 	diff := flag.Bool("diff", false, "compare the two newest BENCH_<n>.json records and exit 1 on perf regressions (skips the report)")
@@ -47,6 +49,15 @@ func main() {
 	}
 
 	fleet := experiments.Fleet{Workers: *workers}
+	switch *queue {
+	case "", "calendar":
+		fleet.Queue = sim.QueueCalendar
+	case "heap":
+		fleet.Queue = sim.QueueHeap
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -queue %q (want calendar or heap)\n", *queue)
+		os.Exit(2)
+	}
 	if err := experiments.ReportOn(os.Stdout, *exp, *seed, fleet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -7,10 +7,22 @@ import (
 	"github.com/argonne-first/first/internal/clock"
 )
 
+// DefaultCacheEntries bounds the token cache: far above any realistic live
+// token population (tokens live 48 h), low enough that an attacker spraying
+// garbage bearer tokens cannot grow the map without limit.
+const DefaultCacheEntries = 16384
+
 // TokenCache memoizes introspection results — Optimization 2 (§5.3.1):
 // "these repetitive steps are now cached for frequently incoming requests.
 // This eliminated 2 s from the latency of each request and prevented our
 // framework from being rate-limited by the Globus services."
+//
+// Concurrent misses on the same token coalesce (singleflight): exactly one
+// goroutine performs the live (latency-charged, rate-limited) introspection
+// while the rest wait for its result. Without this, N parallel requests
+// carrying the same uncached token each paid the ~2 s round trip and
+// together could trip the Globus-side rate limit — the very failure mode
+// the cache exists to prevent.
 type TokenCache struct {
 	svc          *Service
 	clk          clock.Clock
@@ -18,10 +30,13 @@ type TokenCache struct {
 	clientSecret string
 	ttl          time.Duration
 
-	mu      sync.Mutex
-	entries map[string]cachedInfo
-	hits    int64
-	misses  int64
+	mu         sync.Mutex
+	entries    map[string]cachedInfo
+	maxEntries int
+	flight     map[string]*flightCall
+	hits       int64
+	misses     int64
+	coalesced  int64
 }
 
 type cachedInfo struct {
@@ -29,8 +44,17 @@ type cachedInfo struct {
 	expires time.Time
 }
 
+// flightCall is one in-progress upstream introspection; followers block on
+// done and read info/err afterwards (written before done closes).
+type flightCall struct {
+	done chan struct{}
+	info TokenInfo
+	err  error
+}
+
 // NewTokenCache wraps a service with per-token caching (entries live for
-// ttl or until the token itself expires, whichever is sooner).
+// ttl or until the token itself expires, whichever is sooner; the map is
+// bounded at DefaultCacheEntries — see SetMaxEntries).
 func NewTokenCache(svc *Service, clk clock.Clock, clientID, clientSecret string, ttl time.Duration) *TokenCache {
 	if ttl <= 0 {
 		ttl = 10 * time.Minute
@@ -38,13 +62,25 @@ func NewTokenCache(svc *Service, clk clock.Clock, clientID, clientSecret string,
 	return &TokenCache{
 		svc: svc, clk: clk,
 		clientID: clientID, clientSecret: clientSecret,
-		ttl:     ttl,
-		entries: make(map[string]cachedInfo),
+		ttl:        ttl,
+		entries:    make(map[string]cachedInfo),
+		maxEntries: DefaultCacheEntries,
+		flight:     make(map[string]*flightCall),
 	}
 }
 
-// Introspect returns the cached result when fresh, otherwise performs a
-// real (latency-charged, rate-limited) introspection.
+// SetMaxEntries adjusts the cache bound (n <= 0 restores the default).
+func (c *TokenCache) SetMaxEntries(n int) {
+	if n <= 0 {
+		n = DefaultCacheEntries
+	}
+	c.mu.Lock()
+	c.maxEntries = n
+	c.mu.Unlock()
+}
+
+// Introspect returns the cached result when fresh; otherwise it joins the
+// in-flight upstream call for this token, or becomes its leader.
 func (c *TokenCache) Introspect(token string) (TokenInfo, error) {
 	now := c.clk.Now()
 	c.mu.Lock()
@@ -53,17 +89,51 @@ func (c *TokenCache) Introspect(token string) (TokenInfo, error) {
 		c.mu.Unlock()
 		return e.info, nil
 	}
+	if f, ok := c.flight[token]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.info, f.err
+	}
 	c.misses++
+	f := &flightCall{done: make(chan struct{})}
+	c.flight[token] = f
 	c.mu.Unlock()
 
-	info, err := c.svc.Introspect(c.clientID, c.clientSecret, token)
-	if err != nil {
-		return TokenInfo{}, err
-	}
+	f.info, f.err = c.svc.Introspect(c.clientID, c.clientSecret, token)
 	c.mu.Lock()
-	c.entries[token] = cachedInfo{info: info, expires: now.Add(c.ttl)}
+	delete(c.flight, token)
+	if f.err == nil {
+		c.storeLocked(token, f.info)
+	}
 	c.mu.Unlock()
-	return info, nil
+	close(f.done)
+	if f.err != nil {
+		return TokenInfo{}, f.err
+	}
+	return f.info, nil
+}
+
+// storeLocked inserts a fresh entry, keeping the map under its bound: when
+// full it first sweeps entries whose TTL or token already expired, then — if
+// the population is all-live — evicts arbitrary entries. Eviction of a live
+// entry only costs a future re-introspection; it never serves stale data.
+func (c *TokenCache) storeLocked(token string, info TokenInfo) {
+	now := c.clk.Now()
+	if len(c.entries) >= c.maxEntries {
+		for t, e := range c.entries {
+			if !now.Before(e.expires) || !now.Before(e.info.Expiry) {
+				delete(c.entries, t)
+			}
+		}
+		for t := range c.entries {
+			if len(c.entries) < c.maxEntries {
+				break
+			}
+			delete(c.entries, t)
+		}
+	}
+	c.entries[token] = cachedInfo{info: info, expires: now.Add(c.ttl)}
 }
 
 // Invalidate drops a token from the cache (e.g. after revocation).
@@ -73,11 +143,27 @@ func (c *TokenCache) Invalidate(token string) {
 	c.mu.Unlock()
 }
 
-// Stats reports hit/miss counters.
+// Len reports the current entry count (tests, dashboards).
+func (c *TokenCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports hit/miss counters. Coalesced followers count as neither:
+// they missed the cache but triggered no upstream call (see Coalesced).
 func (c *TokenCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Coalesced reports how many lookups joined another goroutine's in-flight
+// introspection instead of calling upstream.
+func (c *TokenCache) Coalesced() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
 }
 
 // Policy decides whether an introspected identity may use a model — the

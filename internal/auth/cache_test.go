@@ -1,0 +1,198 @@
+package auth
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/clock"
+)
+
+// TestTokenCacheCoalescesConcurrentMisses pins the thundering-herd fix: N
+// goroutines missing on the same uncached token must produce exactly one
+// upstream introspection. The Manual clock makes the rendezvous
+// deterministic — the leader blocks inside the modeled introspection
+// latency until every follower has joined the flight, then the clock
+// advances and all of them return the leader's result.
+func TestTokenCacheCoalescesConcurrentMisses(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 10, 15, 12, 0, 0, 0, time.UTC))
+	svc := NewService(clk, Config{IntrospectLatency: 2 * time.Second})
+	svc.RegisterProvider(Provider{Name: "anl"})
+	if err := svc.RegisterUser(Identity{Sub: "alice", Username: "alice@anl.gov", Provider: "anl", MFAPassed: true}); err != nil {
+		t.Fatal(err)
+	}
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Hour)
+	grant, err := svc.Login("alice", "first:inference")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const herd = 32
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	infos := make([]TokenInfo, herd)
+	wg.Add(herd)
+	for i := 0; i < herd; i++ {
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = cache.Introspect(grant.AccessToken)
+		}(i)
+	}
+	// Wait until the leader is blocked in the introspection latency and
+	// every follower is parked on the flight (coalesced == herd-1), then
+	// release the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if clk.PendingWaiters() == 1 && cache.Coalesced() == herd-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never converged: sleepers=%d coalesced=%d", clk.PendingWaiters(), cache.Coalesced())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(2 * time.Second)
+	wg.Wait()
+
+	for i := 0; i < herd; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !infos[i].Active || infos[i].Sub != "alice" {
+			t.Fatalf("goroutine %d got %+v", i, infos[i])
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (single upstream call)", misses)
+	}
+	if cache.Coalesced() != herd-1 {
+		t.Errorf("coalesced = %d, want %d", cache.Coalesced(), herd-1)
+	}
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0", hits)
+	}
+	// A subsequent lookup is a plain cache hit.
+	if _, err := cache.Introspect(grant.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != 1 {
+		t.Errorf("post-herd hits = %d, want 1", hits)
+	}
+}
+
+// TestTokenCacheSingleflightUnderServiceRateLimit drives the herd against a
+// service-side rate limit that a non-coalesced cache would trip: burst 2,
+// 32 concurrent first-time requests. With singleflight, the one upstream
+// call succeeds and everyone shares it.
+func TestTokenCacheSingleflightUnderServiceRateLimit(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 10, 15, 12, 0, 0, 0, time.UTC))
+	svc := NewService(clk, Config{IntrospectLatency: -1, IntrospectRatePerSec: 1})
+	svc.RegisterProvider(Provider{Name: "anl"})
+	if err := svc.RegisterUser(Identity{Sub: "alice", Username: "alice@anl.gov", Provider: "anl", MFAPassed: true}); err != nil {
+		t.Fatal(err)
+	}
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Hour)
+	grant, err := svc.Login("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := cache.Introspect(grant.AccessToken); err != nil {
+				failed.Store(i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	failed.Range(func(k, v any) bool {
+		t.Errorf("goroutine %v rate-limited through the cache: %v", k, v)
+		return false
+	})
+	// Without a clock rendezvous a fast leader can finish before some
+	// followers arrive (those become plain hits); what matters is that
+	// upstream calls stayed within the service's burst of 2 — the herd
+	// would have needed 32.
+	hits, misses := cache.Stats()
+	if hits+misses+cache.Coalesced() != 32 || misses < 1 || misses > 2 {
+		t.Errorf("hits=%d misses=%d coalesced=%d, want 32 total with 1-2 misses",
+			hits, misses, cache.Coalesced())
+	}
+}
+
+// TestTokenCacheBounded pins the map bound: distinct tokens beyond the cap
+// evict rather than grow the table (the same bug class as the gateway's
+// limiter table before its idle sweep).
+func TestTokenCacheBounded(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 10, 15, 12, 0, 0, 0, time.UTC))
+	svc := NewService(clk, Config{IntrospectLatency: -1})
+	svc.RegisterProvider(Provider{Name: "anl"})
+	if err := svc.RegisterUser(Identity{Sub: "alice", Username: "alice@anl.gov", Provider: "anl", MFAPassed: true}); err != nil {
+		t.Fatal(err)
+	}
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Hour)
+	cache.SetMaxEntries(8)
+	for i := 0; i < 40; i++ {
+		grant, err := svc.Login("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cache.Introspect(grant.AccessToken); err != nil {
+			t.Fatal(err)
+		}
+		if got := cache.Len(); got > 8 {
+			t.Fatalf("cache grew to %d entries, bound is 8", got)
+		}
+	}
+	if got := cache.Len(); got != 8 {
+		t.Errorf("final cache size = %d, want 8 (full but bounded)", got)
+	}
+}
+
+// TestTokenCacheSweepsExpiredBeforeEvictingLive checks the bound prefers
+// dropping expired entries over live ones.
+func TestTokenCacheSweepsExpiredBeforeEvictingLive(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 10, 15, 12, 0, 0, 0, time.UTC))
+	svc := NewService(clk, Config{IntrospectLatency: -1})
+	svc.RegisterProvider(Provider{Name: "anl"})
+	if err := svc.RegisterUser(Identity{Sub: "alice", Username: "alice@anl.gov", Provider: "anl", MFAPassed: true}); err != nil {
+		t.Fatal(err)
+	}
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Minute)
+	cache.SetMaxEntries(4)
+	// Three entries that will be TTL-expired...
+	for i := 0; i < 3; i++ {
+		grant, _ := svc.Login("alice")
+		if _, err := cache.Introspect(grant.AccessToken); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(2 * time.Minute)
+	// ...one live entry, then an insert at the bound.
+	live, _ := svc.Login("alice")
+	if _, err := cache.Introspect(live.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	next, _ := svc.Login("alice")
+	if _, err := cache.Introspect(next.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 2 {
+		t.Errorf("cache size = %d, want 2 (expired swept, live kept)", got)
+	}
+	hitsBefore, _ := cache.Stats()
+	if _, err := cache.Introspect(live.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != hitsBefore+1 {
+		t.Error("live entry was evicted instead of the expired ones")
+	}
+}

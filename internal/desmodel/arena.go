@@ -1,0 +1,110 @@
+package desmodel
+
+import (
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/serving"
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// Arena recycles the expensive per-cell structures of an experiment fleet —
+// the event kernel and the serving engines — across the cells one worker
+// executes. Each fleet worker owns one Arena; Begin starts a new cell by
+// resetting the kernel and reclaiming every engine the previous cell
+// borrowed, so steady-state cell execution allocates no fresh kernel heaps,
+// calendar buckets, waiting rings, or Sequence objects. Reset structures are
+// behaviourally identical to fresh ones, which keeps fleet runs byte-equal
+// to the sequential reference regardless of which worker (and therefore
+// which recycled arena) executes a cell.
+//
+// An Arena is single-goroutine, like the kernel it owns.
+type Arena struct {
+	queue sim.QueueKind
+	k     *sim.Kernel
+	// lent are the engines handed out since the last Begin; free holds
+	// reclaimed engines keyed by their (comparable) config.
+	lent []*serving.Engine
+	free map[serving.Config][]*serving.Engine
+}
+
+// NewArena returns an empty arena whose kernels use queue kind q.
+func NewArena(q sim.QueueKind) *Arena {
+	return &Arena{queue: q}
+}
+
+// Begin starts a new experiment cell: every engine the previous cell
+// borrowed is reset and returned to the free pool, and the kernel is reset
+// and returned for the new cell to build on.
+func (a *Arena) Begin() *sim.Kernel {
+	for i, eng := range a.lent {
+		eng.Reset()
+		cfg := eng.Config()
+		a.free[cfg] = append(a.free[cfg], eng)
+		a.lent[i] = nil
+	}
+	a.lent = a.lent[:0]
+	if a.k == nil {
+		a.k = sim.NewKernelWith(a.queue)
+	} else {
+		a.k.Reset()
+	}
+	return a.k
+}
+
+// Kernel returns the current cell's kernel (Begin must have been called).
+func (a *Arena) Kernel() *sim.Kernel { return a.k }
+
+// engine borrows an engine for cfg: a reset one from the pool when
+// available, a fresh one otherwise. The engine returns to the pool at the
+// next Begin.
+func (a *Arena) engine(cfg serving.Config) (*serving.Engine, error) {
+	if pool := a.free[cfg]; len(pool) > 0 {
+		eng := pool[len(pool)-1]
+		pool[len(pool)-1] = nil
+		a.free[cfg] = pool[:len(pool)-1]
+		a.lent = append(a.lent, eng)
+		return eng, nil
+	}
+	eng, err := serving.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if a.free == nil {
+		a.free = make(map[serving.Config][]*serving.Engine)
+	}
+	a.lent = append(a.lent, eng)
+	return eng, nil
+}
+
+// EngineSimIn builds a kernel-driven engine instance on the arena's kernel,
+// drawing the engine from the arena pool. It panics on config errors, like
+// MustEngineSim (experiment setup with static catalog entries).
+func (a *Arena) EngineSimIn(model perfmodel.ModelSpec, gpu perfmodel.GPUSpec, maxBatch int, onComplete func(*serving.Sequence)) *EngineSim {
+	eng, err := a.engine(serving.Config{Model: model, GPU: gpu, MaxBatch: maxBatch})
+	if err != nil {
+		panic(err)
+	}
+	e := &EngineSim{k: a.k, eng: eng, onComplete: onComplete}
+	e.bind()
+	return e
+}
+
+// NewFirstSystemIn is NewFirstSystem drawing its kernel and engines from the
+// arena.
+func NewFirstSystemIn(a *Arena, p FirstParams, model perfmodel.ModelSpec, gpu perfmodel.GPUSpec, instances int, done func(*Req)) *FirstSystem {
+	if instances < 1 {
+		instances = 1
+	}
+	s := newFirstSystemBase(a.k, p, done)
+	for i := 0; i < instances; i++ {
+		s.engines = append(s.engines, a.EngineSimIn(model, gpu, 0, s.onEngineComplete))
+	}
+	return s
+}
+
+// NewDirectSystemIn is NewDirectSystem drawing its kernel and engine from
+// the arena.
+func NewDirectSystemIn(a *Arena, p DirectParams, model perfmodel.ModelSpec, gpu perfmodel.GPUSpec, done func(*Req)) *DirectSystem {
+	s := &DirectSystem{k: a.k, p: p, admission: newLane(a.k, p.APIOverhead), done: done}
+	s.engine = a.EngineSimIn(model, gpu, 0, s.onEngineComplete)
+	return s
+}

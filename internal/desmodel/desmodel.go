@@ -30,6 +30,10 @@ type Req struct {
 	ID        int
 	PromptTok int
 	OutputTok int
+	// Session tags the closed-loop session that issued the request (drivers
+	// previously tracked this in a side map, a per-request map churn on the
+	// Table-1 hot path).
+	Session int
 
 	ArrivalAt   sim.Time // client send time
 	GatewayAt   sim.Time // admitted into the gateway window
@@ -101,42 +105,66 @@ func Collect(reqs []*Req) Metrics {
 // lane is a serialized single-server queue: every item charges `cost`
 // before delivery. It models the hub's routing and relay lanes and the
 // direct path's single-threaded API admission.
+//
+// The service loop runs on two closures bound once at construction
+// (serveFn, doneFn) with the in-service item parked on the struct, so a
+// lane schedules no fresh closure per item — at hub saturation the lanes
+// are the kernel's densest event source. The queue pops by head index
+// (reset when drained) so its backing array is recycled instead of
+// re-sliced away.
 type lane struct {
-	k     *sim.Kernel
-	cost  time.Duration
-	busy  bool
+	k    *sim.Kernel
+	cost time.Duration
+	busy bool
+
 	queue []func()
+	head  int
+
+	inService func()
+	serveFn   func()
+	doneFn    func()
+
 	// depth diagnostics
 	maxDepth int
 }
 
 func newLane(k *sim.Kernel, cost time.Duration) *lane {
-	return &lane{k: k, cost: cost}
+	l := &lane{k: k, cost: cost}
+	l.serveFn = l.serve
+	l.doneFn = l.done
+	return l
 }
 
 func (l *lane) enqueue(fn func()) {
 	l.queue = append(l.queue, fn)
-	if len(l.queue) > l.maxDepth {
-		l.maxDepth = len(l.queue)
+	if d := len(l.queue) - l.head; d > l.maxDepth {
+		l.maxDepth = d
 	}
 	if !l.busy {
 		l.busy = true
-		l.k.Schedule(0, l.serve)
+		l.k.Schedule(0, l.serveFn)
 	}
 }
 
 func (l *lane) serve() {
-	if len(l.queue) == 0 {
+	if l.head == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
 		l.busy = false
 		return
 	}
-	fn := l.queue[0]
-	l.queue = l.queue[1:]
-	l.k.Schedule(l.cost, func() {
-		fn()
-		l.serve()
-	})
+	l.inService = l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	l.k.Schedule(l.cost, l.doneFn)
+}
+
+func (l *lane) done() {
+	fn := l.inService
+	l.inService = nil
+	fn()
+	l.serve()
 }
 
 // Depth returns the current queue length (excluding the in-service item).
-func (l *lane) Depth() int { return len(l.queue) }
+func (l *lane) Depth() int { return len(l.queue) - l.head }

@@ -8,11 +8,21 @@ import (
 
 // EngineSim steps a serving.Engine on the event kernel: one event per
 // continuous-batching iteration, completions delivered at iteration ends.
+//
+// The iteration loop runs on two closures bound once at construction
+// (stepFn, deliverFn) with the pending StepResult parked on the struct, so
+// a saturated engine schedules no fresh closure per iteration — the
+// batched-dispatch path in the kernel then sees stable, allocation-free
+// events.
 type EngineSim struct {
 	k          *sim.Kernel
 	eng        *serving.Engine
 	running    bool
 	onComplete func(*serving.Sequence)
+
+	pending   serving.StepResult // iteration awaiting delivery
+	stepFn    func()
+	deliverFn func()
 
 	emitTimes []sim.Time
 	emitCum   []int64 // cumulative emitted tokens at emitTimes[i]
@@ -24,7 +34,15 @@ func NewEngineSim(k *sim.Kernel, cfg serving.Config, onComplete func(*serving.Se
 	if err != nil {
 		return nil, err
 	}
-	return &EngineSim{k: k, eng: eng, onComplete: onComplete}, nil
+	e := &EngineSim{k: k, eng: eng, onComplete: onComplete}
+	e.bind()
+	return e, nil
+}
+
+// bind populates the reusable iteration closures.
+func (e *EngineSim) bind() {
+	e.stepFn = e.step
+	e.deliverFn = e.deliver
 }
 
 // MustEngineSim panics on config errors (experiment setup with static
@@ -42,7 +60,7 @@ func (e *EngineSim) Submit(promptTok, outputTok int, ctx interface{}) {
 	e.eng.Submit(e.k.Now(), promptTok, outputTok, ctx)
 	if !e.running {
 		e.running = true
-		e.k.Schedule(0, e.step)
+		e.k.Schedule(0, e.stepFn)
 	}
 }
 
@@ -58,17 +76,26 @@ func (e *EngineSim) step() {
 		e.running = false
 		return
 	}
-	e.k.Schedule(res.Duration, func() {
-		e.recordEmission(int64(res.EmittedTokens))
-		for _, seq := range res.Completed {
-			e.onComplete(seq)
-		}
-		// onComplete must consume the sequence synchronously (all drivers
-		// pull Ctx and the timing fields and move on); the objects then go
-		// back to the engine's free list for the next Submit.
-		e.eng.Release(res.Completed...)
-		e.step()
-	})
+	// Park the result for deliverFn: this engine is stepped only by its own
+	// loop, so pending (and the engine scratch its Completed aliases) is
+	// consumed before the next Step can overwrite either.
+	e.pending = res
+	e.k.Schedule(res.Duration, e.deliverFn)
+}
+
+// deliver ends the iteration parked in pending: emissions recorded at the
+// iteration boundary, completions handed to the driver, sequences recycled.
+func (e *EngineSim) deliver() {
+	res := e.pending
+	e.recordEmission(int64(res.EmittedTokens))
+	for _, seq := range res.Completed {
+		e.onComplete(seq)
+	}
+	// onComplete must consume the sequence synchronously (all drivers
+	// pull Ctx and the timing fields and move on); the objects then go
+	// back to the engine's free list for the next Submit.
+	e.eng.Release(res.Completed...)
+	e.step()
 }
 
 func (e *EngineSim) recordEmission(n int64) {

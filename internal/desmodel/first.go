@@ -125,6 +125,16 @@ func NewFirstSystem(k *sim.Kernel, p FirstParams, model perfmodel.ModelSpec, gpu
 	if instances < 1 {
 		instances = 1
 	}
+	s := newFirstSystemBase(k, p, done)
+	for i := 0; i < instances; i++ {
+		s.engines = append(s.engines, MustEngineSim(k, model, gpu, 0, s.onEngineComplete))
+	}
+	return s
+}
+
+// newFirstSystemBase wires everything but the engines (NewFirstSystem
+// allocates them fresh; NewFirstSystemIn draws them from an arena).
+func newFirstSystemBase(k *sim.Kernel, p FirstParams, done func(*Req)) *FirstSystem {
 	s := &FirstSystem{
 		k:        k,
 		p:        p,
@@ -135,9 +145,6 @@ func NewFirstSystem(k *sim.Kernel, p FirstParams, model perfmodel.ModelSpec, gpu
 	}
 	if p.AuthRatePerSec > 0 {
 		s.authLane = newLane(k, time.Duration(float64(time.Second)/p.AuthRatePerSec))
-	}
-	for i := 0; i < instances; i++ {
-		s.engines = append(s.engines, MustEngineSim(k, model, gpu, 0, s.onEngineComplete))
 	}
 	return s
 }

@@ -5,7 +5,6 @@ import (
 
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/perfmodel"
-	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
 
@@ -48,9 +47,9 @@ type ablationArm struct {
 // the run and filters completions to the measurement interval.
 func runAblationArms(f Fleet, arms []ablationArm, genTrace func() []workload.Request, model perfmodel.ModelSpec, window time.Duration) []AblationRow {
 	rows := make([]AblationRow, len(arms))
-	f.Run(len(arms), func(i int) {
-		k := sim.NewKernel()
-		sys := desmodel.NewFirstSystem(k, arms[i].params, model, perfmodel.A100_40, 1, nil)
+	f.RunArena(len(arms), func(i int, a *desmodel.Arena) {
+		k := a.Begin()
+		sys := desmodel.NewFirstSystemIn(a, arms[i].params, model, perfmodel.A100_40, 1, nil)
 		reqs := driveOpenLoop(k, genTrace(), sys)
 		if window > 0 {
 			k.Run(window)

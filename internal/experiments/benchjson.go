@@ -54,11 +54,24 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		Experiments: make(map[string]BenchExperiment),
 	}
 	start := time.Now()
+	// Each experiment regenerates benchReps times and records the fastest
+	// wall: experiment outputs are deterministic, so the repetitions differ
+	// only in scheduler/GC noise, and the minimum is the standard
+	// noise-robust estimator — single-shot walls on a busy host swing past
+	// the bench-diff threshold without any code change.
+	const benchReps = 3
 	timed := func(name string, run func() map[string]float64) {
-		t0 := time.Now()
-		metrics := run()
+		var best float64
+		var metrics map[string]float64
+		for rep := 0; rep < benchReps; rep++ {
+			t0 := time.Now()
+			metrics = run()
+			if wall := float64(time.Since(t0).Microseconds()) / 1000; rep == 0 || wall < best {
+				best = wall
+			}
+		}
 		rec.Experiments[name] = BenchExperiment{
-			WallMS:  float64(time.Since(t0).Microseconds()) / 1000,
+			WallMS:  best,
 			Metrics: metrics,
 		}
 	}

@@ -1,0 +1,68 @@
+package experiments
+
+// Differential determinism suite: the calendar-queue kernel must reproduce
+// the 4-ary heap reference bit for bit on the real experiment workloads —
+// same structs, same floats, same rendered report bytes. This is the
+// tentpole acceptance gate for swapping the kernel's event queue.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/argonne-first/first/internal/sim"
+)
+
+var heapRef = Fleet{Workers: 1, Queue: sim.QueueHeap}
+
+func TestQueueDifferentialFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are long")
+	}
+	cal := RunFig3On(Sequential, DefaultSeed)
+	heap := RunFig3On(heapRef, DefaultSeed)
+	if !reflect.DeepEqual(cal, heap) {
+		t.Errorf("Fig3 diverges between calendar and heap kernels:\ncal:  %+v\nheap: %+v", cal, heap)
+	}
+}
+
+func TestQueueDifferentialTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are long")
+	}
+	cal := RunTable1On(Sequential, DefaultSeed)
+	heap := RunTable1On(heapRef, DefaultSeed)
+	if !reflect.DeepEqual(cal, heap) {
+		t.Errorf("Table1 diverges between calendar and heap kernels")
+	}
+}
+
+func TestQueueDifferentialStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are long")
+	}
+	cal := RunStormOn(Sequential, DefaultSeed)
+	heap := RunStormOn(heapRef, DefaultSeed)
+	if !reflect.DeepEqual(cal, heap) {
+		t.Errorf("Storm diverges between calendar and heap kernels:\ncal:  %+v\nheap: %+v", cal, heap)
+	}
+}
+
+// TestQueueDifferentialReport renders the full paper report on both kernels
+// (and with the heap side fanned out in parallel, so arena recycling and
+// worker scheduling are exercised too): the bytes must be identical.
+func TestQueueDifferentialReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	var cal, heap bytes.Buffer
+	if err := ReportOn(&cal, "all", DefaultSeed, Parallel); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReportOn(&heap, "all", DefaultSeed, Fleet{Queue: sim.QueueHeap}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cal.Bytes(), heap.Bytes()) {
+		t.Error("rendered report differs between calendar and heap kernels")
+	}
+}

@@ -59,15 +59,13 @@ type closedLoop struct {
 	chatHistory bool
 	historyCap  int
 	history     []int
-	sessionOf   map[*desmodel.Req]int
 }
 
 func newClosedLoop(k *sim.Kernel, spec workload.LengthSpec, seed int64, sessions int, thinkTime time.Duration) *closedLoop {
 	return &closedLoop{
 		k: k, spec: spec, rng: sim.NewRNG(seed),
 		sessions: sessions, thinkTime: thinkTime,
-		history:   make([]int, sessions),
-		sessionOf: make(map[*desmodel.Req]int),
+		history: make([]int, sessions),
 	}
 }
 
@@ -93,16 +91,14 @@ func (c *closedLoop) issue(session int) {
 		}
 	}
 	c.issued++
-	r := &desmodel.Req{ID: c.issued, PromptTok: p, OutputTok: o}
-	c.sessionOf[r] = session
+	r := &desmodel.Req{ID: c.issued, PromptTok: p, OutputTok: o, Session: session}
 	c.sys.Arrive(r)
 }
 
 // onDone records the completion and keeps the session busy.
 func (c *closedLoop) onDone(r *desmodel.Req) {
 	c.finished = append(c.finished, r)
-	session := c.sessionOf[r]
-	delete(c.sessionOf, r)
+	session := r.Session
 	if c.chatHistory {
 		// Next turn carries this turn's prompt and response as context.
 		h := r.PromptTok + r.OutputTok

@@ -3,7 +3,6 @@ package experiments
 import (
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/perfmodel"
-	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
 
@@ -51,7 +50,7 @@ func RunFig3On(f Fleet, seed int64) []Fig3Row {
 	gpu := perfmodel.A100_40
 	systems := []string{"FIRST", "vLLM-Direct"}
 	rows := make([]Fig3Row, len(rates)*len(systems))
-	f.Run(len(rows), func(i int) {
+	f.RunArena(len(rows), func(i int, a *desmodel.Arena) {
 		rc := rates[i/len(systems)]
 		system := systems[i%len(systems)]
 		arrival := workload.Infinite()
@@ -60,12 +59,12 @@ func RunFig3On(f Fleet, seed int64) []Fig3Row {
 		}
 		trace := workload.Generate(Fig3Requests, workload.ShareGPT(), arrival, seed)
 
-		k := sim.NewKernel()
+		k := a.Begin()
 		var sys arriver
 		if system == "FIRST" {
-			sys = desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, 1, nil)
+			sys = desmodel.NewFirstSystemIn(a, desmodel.DefaultFirstParams(), model, gpu, 1, nil)
 		} else {
-			sys = desmodel.NewDirectSystem(k, desmodel.DefaultDirectParams(), model, gpu, nil)
+			sys = desmodel.NewDirectSystemIn(a, desmodel.DefaultDirectParams(), model, gpu, nil)
 		}
 		reqs := driveOpenLoop(k, trace, sys)
 		k.Run(0)

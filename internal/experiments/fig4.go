@@ -3,7 +3,6 @@ package experiments
 import (
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/perfmodel"
-	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
 
@@ -40,11 +39,11 @@ func RunFig4On(f Fleet, seed int64) []Fig4Row {
 	gpu := perfmodel.A100_40
 
 	rows := make([]Fig4Row, 4)
-	f.Run(len(rows), func(i int) {
+	f.RunArena(len(rows), func(i int, a *desmodel.Arena) {
 		n := i + 1
 		trace := workload.Generate(Fig4Requests, workload.ShareGPT(), workload.Infinite(), seed)
-		k := sim.NewKernel()
-		sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model, gpu, n, nil)
+		k := a.Begin()
+		sys := desmodel.NewFirstSystemIn(a, desmodel.DefaultFirstParams(), model, gpu, n, nil)
 		reqs := driveOpenLoop(k, trace, sys)
 		k.Run(0)
 		row := Fig4Row{Instances: n, M: desmodel.Collect(reqs)}

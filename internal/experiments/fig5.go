@@ -4,7 +4,6 @@ import (
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/perfmodel"
 	"github.com/argonne-first/first/internal/serving"
-	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
 
@@ -34,12 +33,12 @@ func RunFig5On(f Fleet, seed int64) []Fig5Row {
 	model8b := perfmodel.Default.MustLookup(perfmodel.Llama8B)
 
 	rows := make([]Fig5Row, 2)
-	f.Run(len(rows), func(i int) {
+	f.RunArena(len(rows), func(i int, a *desmodel.Arena) {
 		switch i {
 		case 0: // FIRST / Llama-3.1-8B.
 			trace := workload.Generate(Fig5Requests, workload.ShareGPTShort(), workload.Infinite(), seed)
-			k := sim.NewKernel()
-			sys := desmodel.NewFirstSystem(k, desmodel.DefaultFirstParams(), model8b, gpu, 1, nil)
+			k := a.Begin()
+			sys := desmodel.NewFirstSystemIn(a, desmodel.DefaultFirstParams(), model8b, gpu, 1, nil)
 			reqs := driveOpenLoop(k, trace, sys)
 			k.Run(0)
 			rows[i] = Fig5Row{
@@ -50,7 +49,7 @@ func RunFig5On(f Fleet, seed int64) []Fig5Row {
 				PaperMedianS: 16.3,
 			}
 		case 1: // OpenAI API / GPT-4o-mini.
-			k := sim.NewKernel()
+			k := a.Begin()
 			ext := serving.DefaultOpenAI()
 			loop := newClosedLoop(k, workload.ShareGPTShort(), seed, ext.MaxConcurrent, 0)
 			sys := desmodel.NewExtAPISystem(k, ext, func(r *desmodel.Req) {

@@ -20,26 +20,41 @@ type MicroBench struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// microReps is how many times each micro-benchmark loop repeats; the
+// fastest repetition wins.
+const microReps = 3
+
 // measureMicro times iters executions of op and reports per-op cost and
 // heap traffic. It is self-contained (no testing.B) so first-bench can emit
-// the numbers into BENCH_<n>.json from a plain binary.
+// the numbers into BENCH_<n>.json from a plain binary. The loop repeats
+// microReps times and the fastest repetition wins — like the experiment
+// walls, a single-shot timing on a busy host can spike far past the
+// bench-diff threshold with no code change (allocation counts, being
+// deterministic, are taken from the same repetition).
 func measureMicro(iters int, op func()) MicroBench {
 	op() // warm up: first-call allocations (lazy tables) are not steady state
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		op()
+	var best MicroBench
+	for rep := 0; rep < microReps; rep++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := float64(iters)
+		m := MicroBench{
+			NsPerOp:     float64(wall.Nanoseconds()) / n,
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+			BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		}
+		if rep == 0 || m.NsPerOp < best.NsPerOp {
+			best = m
+		}
 	}
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	n := float64(iters)
-	return MicroBench{
-		NsPerOp:     float64(wall.Nanoseconds()) / n,
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
-	}
+	return best
 }
 
 // CollectMicro runs the substrate micro-benchmarks (the same hot paths the
@@ -53,6 +68,42 @@ func CollectMicro() map[string]MicroBench {
 		k.Schedule(time.Microsecond, func() {})
 		k.Run(0)
 	})
+
+	// DES kernel under a standing near-uniform population of 1024 pending
+	// events — the figure-run regime the calendar queue targets; the heap
+	// series is the O(log n) reference the calendar is measured against.
+	for _, kq := range []struct {
+		name string
+		kind sim.QueueKind
+	}{
+		{"kernel_uniform_1k", sim.QueueCalendar},
+		{"kernel_uniform_1k_heap", sim.QueueHeap},
+	} {
+		const depth = 1024
+		uk := sim.NewKernelWith(kq.kind)
+		remaining := 0
+		var fn func()
+		fn = func() {
+			remaining--
+			if remaining > 0 {
+				uk.Schedule(depth*time.Microsecond, fn)
+			}
+		}
+		run := func() {
+			uk.Reset()
+			remaining = 64 * depth
+			for i := 0; i < depth; i++ {
+				uk.Schedule(time.Duration(i)*time.Microsecond, fn)
+			}
+			uk.Run(0)
+		}
+		per := measureMicro(8, run)
+		// measureMicro timed whole runs; report per-event cost.
+		per.NsPerOp /= 64 * depth
+		per.AllocsPerOp /= 64 * depth
+		per.BytesPerOp /= 64 * depth
+		out[kq.name] = per
+	}
 
 	// Serving engine: one continuous-batching iteration at saturation.
 	model := perfmodel.Default.MustLookup(perfmodel.Llama8B)

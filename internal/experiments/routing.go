@@ -3,7 +3,6 @@ package experiments
 import (
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/perfmodel"
-	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
 
@@ -33,17 +32,17 @@ func RunAblationRoutingOn(f Fleet, seed int64) []RoutingRow {
 		desmodel.RouteRandom,
 	}
 	rows := make([]RoutingRow, len(policies))
-	f.Run(len(rows), func(i int) {
+	f.RunArena(len(rows), func(i int, a *desmodel.Arena) {
 		pol := policies[i]
 		trace := workload.Generate(2000, spec, workload.Infinite(), seed)
-		k := sim.NewKernel()
+		k := a.Begin()
 		p := desmodel.DefaultFirstParams()
 		p.Routing = pol
 		// Moderate concurrency: at full saturation every policy keeps all
 		// engines busy; imbalance costs show when the window is near the
 		// fleet's batch capacity.
 		p.Window = 160
-		sys := desmodel.NewFirstSystem(k, p, model, perfmodel.A100_40, 4, nil)
+		sys := desmodel.NewFirstSystemIn(a, p, model, perfmodel.A100_40, 4, nil)
 		reqs := driveOpenLoop(k, trace, sys)
 		k.Run(0)
 		rows[i] = RoutingRow{Policy: pol.String(), M: desmodel.Collect(reqs)}

@@ -47,9 +47,9 @@ func RunStormOn(f Fleet, seed int64) []StormRow {
 		}
 	}
 	rows := make([]StormRow, len(cells))
-	f.Run(len(cells), func(i int) {
+	f.RunArena(len(cells), func(i int, a *desmodel.Arena) {
 		c := cells[i]
-		k := sim.NewKernel()
+		k := a.Begin()
 		sys := desmodel.NewGatewayFE(k, desmodel.DefaultGatewayFEParams(c.shards), nil)
 		rng := sim.NewRNG(seed + int64(c.users))
 		reqs := make([]*desmodel.Req, c.users)

@@ -5,7 +5,6 @@ import (
 
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/perfmodel"
-	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
 
@@ -83,13 +82,13 @@ func RunTable1On(f Fleet, seed int64) []Table1Cell {
 	nConc := len(Table1Concurrencies)
 	nWin := len(Table1Windows)
 	cells := make([]Table1Cell, len(table1Models)*nConc*nWin)
-	f.Run(len(cells), func(i int) {
+	f.RunArena(len(cells), func(i int, a *desmodel.Arena) {
 		mc := table1Models[i/(nConc*nWin)]
 		conc := Table1Concurrencies[(i/nWin)%nConc]
 		windowS := Table1Windows[i%nWin]
 		model := perfmodel.Default.MustLookup(mc.name)
 		window := time.Duration(windowS) * time.Second
-		k := sim.NewKernel()
+		k := a.Begin()
 		loop := newClosedLoop(k, workload.WebUI(), seed+int64(conc)+int64(windowS), conc, 0)
 		loop.enableChatHistory(8192)
 		// The WebUI backend (FastAPI/Uvicorn) holds its own worker
@@ -97,7 +96,7 @@ func RunTable1On(f Fleet, seed int64) []Table1Cell {
 		// the concurrency control here.
 		params := desmodel.DefaultFirstParams()
 		params.Window = 0
-		sys := desmodel.NewFirstSystem(k, params, model, gpu, mc.instances(conc), loop.onDone)
+		sys := desmodel.NewFirstSystemIn(a, params, model, gpu, mc.instances(conc), loop.onDone)
 		loop.start(sys)
 		k.Run(window)
 		n, _ := loop.completedWithin(window)

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/argonne-first/first/internal/auth"
@@ -142,8 +143,18 @@ type Server struct {
 	met     *metrics.Registry
 
 	mux *http.ServeMux
-	sem chan struct{} // worker-model semaphore
-	fe  *frontend     // sharded mutable front-end state
+	// Async admission window: a lock-free in-flight counter. The previous
+	// `sem` channel serialized every admission (and every release) on the
+	// channel's internal lock — one more single point the storm workload
+	// funnels through after the front-end itself was sharded. An atomic
+	// add/compare keeps identical accept/reject semantics without it.
+	inFlight      atomic.Int64
+	inFlightLimit int64
+	// syncSem remains a channel for the legacy synchronous model only:
+	// those workers *queue* (block) when the pool is full, which is exactly
+	// channel-send semantics.
+	syncSem chan struct{}
+	fe      *frontend // sharded mutable front-end state
 
 	toolsMu sync.Mutex // tools registration is control-plane, not sharded
 	tools   map[string][]ToolRoute
@@ -191,11 +202,11 @@ func New(cfg Config, deps Deps) (*Server, error) {
 		mux:     http.NewServeMux(),
 		fe:      newFrontend(cfg, deps.Clock),
 	}
-	workers := cfg.InFlightLimit
 	if cfg.WorkerModel == WorkerSyncLegacy {
-		workers = cfg.SyncWorkers
+		s.syncSem = make(chan struct{}, cfg.SyncWorkers)
+	} else {
+		s.inFlightLimit = int64(cfg.InFlightLimit)
 	}
-	s.sem = make(chan struct{}, workers)
 	s.routes()
 	return s, nil
 }
@@ -258,20 +269,20 @@ func (s *Server) withAuth(h authedHandler) http.HandlerFunc {
 			return
 		}
 		// Worker admission: the legacy sync model holds one of few worker
-		// slots for the whole request; async admits a wide window.
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			if s.cfg.WorkerModel == WorkerSyncLegacy {
-				// Sync workers queue (blocking) like WSGI workers would.
-				s.sem <- struct{}{}
-			} else {
+		// slots for the whole request (queueing like WSGI workers would);
+		// async admits a wide window on a lock-free in-flight counter.
+		if s.cfg.WorkerModel == WorkerSyncLegacy {
+			s.syncSem <- struct{}{}
+			defer func() { <-s.syncSem }()
+		} else {
+			if s.inFlight.Add(1) > s.inFlightLimit {
+				s.inFlight.Add(-1)
 				s.met.Counter("overloaded").Inc()
 				s.writeError(w, http.StatusServiceUnavailable, "overloaded_error", "gateway at capacity")
 				return
 			}
+			defer s.inFlight.Add(-1)
 		}
-		defer func() { <-s.sem }()
 		if s.cfg.ProcessingOverhead > 0 {
 			s.clk.Sleep(s.cfg.ProcessingOverhead)
 		}

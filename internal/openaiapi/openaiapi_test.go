@@ -118,6 +118,51 @@ func TestReadSSEIgnoresNonDataLines(t *testing.T) {
 	}
 }
 
+// TestReadSSENoSpaceAfterColon is the regression test for the spec-form
+// fix: the SSE specification allows `data:payload` with no space after the
+// colon, and streams from other servers use it. Previously such events were
+// silently dropped.
+func TestReadSSENoSpaceAfterColon(t *testing.T) {
+	raw := "data:{\"a\":1}\n\ndata: {\"b\":2}\n\ndata:[DONE]\n\ndata:{\"c\":3}\n\n"
+	var payloads []string
+	if err := ReadSSE(strings.NewReader(raw), func(data []byte) error {
+		payloads = append(payloads, string(data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 2 || payloads[0] != `{"a":1}` || payloads[1] != `{"b":2}` {
+		t.Errorf("payloads = %q, want both colon forms delivered and [DONE] honored", payloads)
+	}
+
+	// A full no-space chat stream reassembles like the spaced form.
+	noSpace := "data:{\"choices\":[{\"delta\":{\"content\":\"Hi \"}}]}\n\n" +
+		"data:{\"choices\":[{\"delta\":{\"content\":\"there\"}}]}\n\n" +
+		"data:[DONE]\n\n"
+	text, err := CollectStreamText(strings.NewReader(noSpace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "Hi there" {
+		t.Errorf("collected %q, want \"Hi there\"", text)
+	}
+	// Bare `data:` / `data: ` heartbeats are skipped, not delivered: an
+	// empty payload would abort JSON consumers mid-stream.
+	var events int
+	if err := ReadSSE(strings.NewReader("data:\n\ndata: \n\ndata: {\"ok\":1}\n\ndata: [DONE]\n\n"), func(data []byte) error {
+		events++
+		if len(data) == 0 {
+			t.Error("empty payload delivered")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 {
+		t.Errorf("events = %d, want 1 (heartbeats skipped)", events)
+	}
+}
+
 func TestErrorEnvelope(t *testing.T) {
 	e := NewError("invalid_request_error", "bad input")
 	raw, _ := json.Marshal(e)

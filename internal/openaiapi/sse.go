@@ -41,7 +41,10 @@ type StreamChunk struct {
 }
 
 // ReadSSE consumes an SSE stream, invoking onData for every event payload
-// until [DONE] or EOF.
+// until [DONE] or EOF. Per the SSE specification, the colon after the field
+// name may be followed by at most one optional space — `data:payload` is as
+// valid as `data: payload` — so both forms are accepted (our own WriteSSE
+// emits the spaced form, but other servers legitimately do not).
 func ReadSSE(r io.Reader, onData func(data []byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
@@ -50,10 +53,18 @@ func ReadSSE(r io.Reader, onData func(data []byte) error) error {
 		if len(line) == 0 {
 			continue
 		}
-		if !bytes.HasPrefix(line, []byte("data: ")) {
+		if !bytes.HasPrefix(line, []byte("data:")) {
 			continue
 		}
-		payload := bytes.TrimPrefix(line, []byte("data: "))
+		payload := line[len("data:"):]
+		if len(payload) > 0 && payload[0] == ' ' {
+			payload = payload[1:]
+		}
+		if len(payload) == 0 {
+			// Bare `data:` / `data: ` heartbeats carry nothing a JSON chunk
+			// consumer can parse; delivering them would abort the stream.
+			continue
+		}
 		if string(payload) == StreamDone {
 			return nil
 		}

@@ -222,6 +222,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Model returns the configured model spec.
 func (e *Engine) Model() perfmodel.ModelSpec { return e.cfg.Model }
 
+// Config returns the engine's configuration (a comparable value — engine
+// pools key on it).
+func (e *Engine) Config() Config { return e.cfg }
+
 // Now returns the engine's current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
@@ -309,6 +313,38 @@ func (e *Engine) Release(seqs ...*Sequence) {
 		*s = Sequence{}
 		e.free = append(e.free, s)
 	}
+}
+
+// Reset returns the engine to its post-NewEngine state while keeping every
+// allocated structure warm: the waiting ring's backing array, the running
+// slice, the completed scratch buffer, and the Sequence free list all
+// survive, with queued/running sequences drained into the free list. A Reset
+// engine is behaviourally indistinguishable from a fresh one (IDs restart at
+// 1, time at zero, stats cleared), which is what lets experiment-fleet
+// arenas recycle engines across cells without perturbing determinism.
+func (e *Engine) Reset() {
+	for e.waiting.len() > 0 {
+		s := e.waiting.popFront()
+		*s = Sequence{}
+		e.free = append(e.free, s)
+	}
+	for i, s := range e.running {
+		*s = Sequence{}
+		e.free = append(e.free, s)
+		e.running[i] = nil
+	}
+	e.running = e.running[:0]
+	for i := range e.completedScratch {
+		e.completedScratch[i] = nil
+	}
+	e.completedScratch = e.completedScratch[:0]
+	e.nextID = 0
+	e.now = 0
+	e.abortedWaiting = 0
+	e.kvUsed = 0
+	e.kvReserved = 0
+	e.stats = Stats{}
+	e.lastBusy = 0
 }
 
 // Step advances the engine by one iteration starting at virtual time now.

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// recordingKernel drives k with a deterministic random schedule derived from
+// seed and returns the full (time, id) execution order. The workload mixes
+// the shapes the experiment suite produces: same-instant floods, near-uniform
+// gaps, far-future events (overflow territory), nested scheduling from
+// callbacks, and partial bounded runs with late inserts between them.
+func recordingKernel(k *Kernel, seed int64) []struct {
+	at Time
+	id int
+} {
+	rng := NewRNG(seed)
+	type stamp = struct {
+		at Time
+		id int
+	}
+	var fired []stamp
+	id := 0
+	record := func() func() {
+		id++
+		me := id
+		return func() { fired = append(fired, stamp{k.Now(), me}) }
+	}
+	schedule := func() {
+		switch rng.Intn(5) {
+		case 0: // same-instant burst
+			n := 1 + rng.Intn(8)
+			at := time.Duration(rng.Intn(2000)) * time.Millisecond
+			for i := 0; i < n; i++ {
+				k.At(at, record())
+			}
+		case 1: // near-uniform short delay
+			k.Schedule(time.Duration(rng.Intn(4000))*time.Microsecond, record())
+		case 2: // far future (calendar overflow)
+			k.Schedule(time.Duration(1+rng.Intn(3000))*time.Second, record())
+		case 3: // zero delay (runs this instant, after the current batch)
+			k.Schedule(0, record())
+		default: // millisecond-scale
+			k.Schedule(time.Duration(rng.Intn(500))*time.Millisecond, record())
+		}
+	}
+	for i := 0; i < 300; i++ {
+		schedule()
+	}
+	// Nested scheduling from inside callbacks.
+	for i := 0; i < 50; i++ {
+		k.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() {
+			for j := 0; j < 4; j++ {
+				schedule()
+			}
+		})
+	}
+	// Bounded runs with inserts in between: the cursor runs ahead to the
+	// next pending event, then a later insert lands behind it.
+	k.Run(200 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		schedule()
+	}
+	k.Run(900 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		schedule()
+	}
+	k.Run(0)
+	return fired
+}
+
+// TestKernelCalendarMatchesHeapReference is the randomized differential
+// property test: the calendar queue and the 4-ary heap reference must
+// produce the exact same execution order (same events, same virtual times)
+// for arbitrary schedules — the strict (time, seq) determinism contract.
+func TestKernelCalendarMatchesHeapReference(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		cal := recordingKernel(NewKernelWith(QueueCalendar), seed)
+		heap := recordingKernel(NewKernelWith(QueueHeap), seed)
+		if len(cal) != len(heap) {
+			t.Fatalf("seed %d: calendar fired %d events, heap %d", seed, len(cal), len(heap))
+		}
+		for i := range cal {
+			if cal[i] != heap[i] {
+				t.Fatalf("seed %d: execution diverges at event %d: calendar %+v, heap %+v",
+					seed, i, cal[i], heap[i])
+			}
+		}
+	}
+}
+
+// TestKernelStopBeforeRunHonored pins the fix for the silently-ignored
+// pre-run Stop: a Stop issued before Run must make that Run return without
+// executing anything, and be consumed so the next Run proceeds.
+func TestKernelStopBeforeRunHonored(t *testing.T) {
+	for _, q := range []QueueKind{QueueCalendar, QueueHeap} {
+		k := NewKernelWith(q)
+		var count int
+		k.Schedule(time.Second, func() { count++ })
+		k.Stop()
+		if end := k.Run(0); end != 0 {
+			t.Errorf("%v: stopped Run advanced time to %v", q, end)
+		}
+		if count != 0 {
+			t.Errorf("%v: stopped Run executed %d events", q, count)
+		}
+		if k.Pending() != 1 {
+			t.Errorf("%v: pending = %d after stopped Run, want 1", q, k.Pending())
+		}
+		// The Stop is consumed: the next Run executes normally.
+		if end := k.Run(0); end != time.Second || count != 1 {
+			t.Errorf("%v: resumed Run end=%v count=%d, want 1s/1", q, end, count)
+		}
+	}
+}
+
+// TestSecondsClampsNonFinite pins the NaN/-Inf fix: non-finite inputs clamp
+// instead of converting to garbage times.
+func TestSecondsClampsNonFinite(t *testing.T) {
+	if got := Seconds(math.NaN()); got != 0 {
+		t.Errorf("Seconds(NaN) = %v, want 0", got)
+	}
+	if got := Seconds(math.Inf(-1)); got != -math.MaxInt64/4 {
+		t.Errorf("Seconds(-Inf) = %v, want most-negative clamp", got)
+	}
+	if got := Seconds(-2e12); got != -math.MaxInt64/4 {
+		t.Errorf("Seconds(-2e12) = %v, want most-negative clamp", got)
+	}
+	if got := Seconds(math.Inf(1)); got != math.MaxInt64/4 {
+		t.Errorf("Seconds(+Inf) = %v, want most-positive clamp", got)
+	}
+	// Finite values are untouched.
+	if got := Seconds(-1.5); got != -1500*time.Millisecond {
+		t.Errorf("Seconds(-1.5) = %v", got)
+	}
+}
+
+// TestKernelResetRecyclesAcrossRuns checks the arena-reuse contract: a Reset
+// kernel behaves exactly like a fresh one.
+func TestKernelResetRecyclesAcrossRuns(t *testing.T) {
+	for _, q := range []QueueKind{QueueCalendar, QueueHeap} {
+		fresh := recordingKernel(NewKernelWith(q), 7)
+		k := NewKernelWith(q)
+		recordingKernel(k, 3) // dirty the kernel with a different run
+		k.Schedule(time.Hour, func() {})
+		k.Reset()
+		if k.Now() != 0 || k.Pending() != 0 || k.Processed != 0 {
+			t.Fatalf("%v: Reset left now=%v pending=%d processed=%d", q, k.Now(), k.Pending(), k.Processed)
+		}
+		reused := recordingKernel(k, 7)
+		if len(fresh) != len(reused) {
+			t.Fatalf("%v: reused kernel fired %d events, fresh %d", q, len(reused), len(fresh))
+		}
+		for i := range fresh {
+			if fresh[i] != reused[i] {
+				t.Fatalf("%v: reused kernel diverges from fresh at event %d", q, i)
+			}
+		}
+	}
+}
+
+// TestKernelBatchedSameInstantDispatch checks the batch loop picks up events
+// a callback schedules for the current instant, in sequence order, within the
+// same dispatch.
+func TestKernelBatchedSameInstantDispatch(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(time.Second, func() {
+		order = append(order, 1)
+		// Scheduled mid-batch for the same instant: must run after the
+		// already-queued event 2, still at t=1s.
+		k.Schedule(0, func() {
+			order = append(order, 3)
+			if k.Now() != time.Second {
+				t.Errorf("zero-delay event ran at %v", k.Now())
+			}
+		})
+	})
+	k.Schedule(time.Second, func() { order = append(order, 2) })
+	k.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestKernelDeepQueueZeroAlloc pins the arena-reuse steady state at zero
+// allocations: a Reset kernel replaying a deep near-uniform schedule (the
+// fleet-cell recycling pattern) must reuse every bucket's backing array, the
+// overflow heap, and the rehash scratch without growing any of them.
+func TestKernelDeepQueueZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	const depth = 512
+	remaining := 0
+	var fn func()
+	fn = func() {
+		remaining--
+		if remaining > 0 {
+			k.Schedule(depth*time.Microsecond, fn)
+		}
+	}
+	cell := func(n int) {
+		k.Reset()
+		remaining = n
+		for i := 0; i < depth && i < n; i++ {
+			k.Schedule(time.Duration(i)*time.Microsecond, fn)
+		}
+		k.Run(0)
+	}
+	cell(8 * depth) // grow buckets, overflow heap, and scratch to steady state
+	allocs := testing.AllocsPerRun(10, func() { cell(8 * depth) })
+	if allocs != 0 {
+		t.Errorf("steady-state deep-queue allocs per run = %v, want 0", allocs)
+	}
+}
