@@ -1,8 +1,11 @@
 # FIRST reproduction — build/verify/perf-record targets.
 
 GO ?= go
+# FUZZTIME is the fuzzing budget: 3s in the per-PR gate, 60s nightly
+# (make fuzz FUZZTIME=60s).
+FUZZTIME ?= 3s
 
-.PHONY: all check fmt vet build test fuzz race bench bench-diff
+.PHONY: all check fmt vet build test fuzz race bench bench-diff federate-night
 
 all: check
 
@@ -23,9 +26,10 @@ build:
 test:
 	$(GO) test ./...
 
-# fuzz briefly mutates the committed openaiapi seed corpus (testdata/fuzz).
+# fuzz mutates the committed openaiapi seed corpus (testdata/fuzz) for
+# FUZZTIME (3s in `make check`; the nightly CI job runs 60s).
 fuzz:
-	$(GO) test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime 3s ./internal/openaiapi
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime $(FUZZTIME) ./internal/openaiapi
 
 # race runs the tier-1 suite under the race detector — the gate for the
 # sharded gateway front-end's parallel stress tests.
@@ -40,6 +44,13 @@ bench:
 
 # bench-diff gates the trajectory: compares the two newest BENCH_<n>.json
 # records and fails on >20% ns/op (or wall) regressions or any allocs/op
-# increase.
+# increase. With fewer than two records (fork/shallow checkouts) it skips
+# with a notice and exits 0.
 bench-diff:
 	$(GO) run ./cmd/first-bench -diff
+
+# federate-night runs the full-scale federation determinism suite — 10⁶
+# open-loop requests + 10⁴ WebUI sessions, byte-identical across worker
+# counts and queue kinds. Too slow for per-PR CI; the nightly job runs it.
+federate-night:
+	FIRST_FEDERATE_FULL=1 $(GO) test -run '^TestFederateFullScale$$' -v -timeout 30m ./internal/experiments

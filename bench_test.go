@@ -161,6 +161,26 @@ func BenchmarkArrivalStorm(b *testing.B) {
 	}
 }
 
+// BenchmarkFederate regenerates the federation-at-scale family: 10⁶
+// open-loop requests plus 10⁴ WebUI sessions routed by the real priority
+// ladder across 2-8 clusters with walltime churn and migration.
+func BenchmarkFederate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFederate(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Mode == "open" && r.Clusters == 4 {
+					b.ReportMetric(r.M.ReqPerSec, "open_c4_req/s")
+					b.ReportMetric(float64(r.Migrations), "open_c4_migrations")
+				}
+				if r.Mode == "webui" {
+					b.ReportMetric(r.M.ReqPerSec, "webui_req/s")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkEngineStep measures the raw cost of one continuous-batching
 // iteration of the engine state machine (substrate micro-benchmark).
 func BenchmarkEngineStep(b *testing.B) {

@@ -56,6 +56,34 @@
 // regression tests pin the admission hot path (limiter check + cache hit)
 // at zero allocations.
 //
+// # Federation at scale
+//
+// The federate scenario family (first-bench -exp federate) is the first
+// experiment where every layer of the reproduction runs inside one
+// simulated system, at beyond-paper scale: 10⁶ open-loop requests plus 10⁴
+// closed-loop WebUI sessions flow through the sharded gateway front-end,
+// are routed by the real federation.Select priority ladder (§4.5: active →
+// capacity → first-configured) over live snapshots, and land on 2-8
+// simulated clusters. Each cluster pairs a real inventory
+// (cluster.Cluster) with a real PBS-like scheduler — scheduler.Scheduler
+// gained a deterministic Config.Timer hook so the DES kernel drives its
+// Queued→Starting→Running prologue and walltime machinery with no
+// goroutines — and serves three models on continuous-batching engine
+// instances. Deployments churn mid-run: serve walltimes expire, instances
+// drain (unadmitted work is pulled back via serving.Engine's
+// EachWaiting/Abort and migrated to other clusters), batches that outlive
+// the drain grace are hard-killed by the scheduler's real TimedOut timer
+// (survivors collected via EachRunning and migrated), and pending demand
+// cold-restarts deployments through the full scheduler lifecycle —
+// competing with background science jobs for GPUs, which is what pushes
+// the ladder onto its capacity and first-configured rungs. The experiment
+// reports per-rung routing counts, migration counts and migrated-request
+// latency, cold starts / drains / hard kills, and per-cluster GPU
+// utilization. A differential suite pins the family byte-identical across
+// fleet worker counts and calendar/heap kernels; the full-scale suite runs
+// in the nightly CI job (make federate-night), with a scaled-down family
+// guarding every PR.
+//
 // Experiments fan out: internal/experiments.Fleet runs the independent
 // cells of each figure/table (rate points, concurrency×window cells,
 // ablation arms) on parallel goroutines. Every cell owns a private kernel
@@ -77,8 +105,13 @@
 // bench-diff` (first-bench -diff) compares the two newest records,
 // failing on >20% slowdowns or any extra allocations per op (experiment
 // walls and micro series record the fastest of three repetitions, so host
-// noise cannot fake a regression). `make race` runs the tier-1 suite under
-// the race detector; `make check` includes a brief fuzz pass over the
-// openaiapi request parsers. All three run as required CI jobs
-// (.github/workflows/ci.yml).
+// noise cannot fake a regression; with fewer than two records, e.g. a fork
+// checkout, the diff skips cleanly instead of failing). `make race` runs
+// the tier-1 suite under the race detector; `make check` includes a brief
+// fuzz pass over the openaiapi request parsers. All three run as required
+// CI jobs (.github/workflows/ci.yml) — check on an {oldstable, stable} Go
+// matrix with module/build caching, bench records and the race log
+// uploaded as artifacts — and a scheduled nightly job runs what is too
+// slow per-PR: 60 s of parser fuzzing plus the full-scale federate
+// determinism suite.
 package first

@@ -75,6 +75,28 @@ func (a *Arena) engine(cfg serving.Config) (*serving.Engine, error) {
 	return eng, nil
 }
 
+// Reclaim returns a borrowed engine to the pool mid-cell: it is reset and
+// becomes available to the next EngineSimIn with the same config. Scenarios
+// with in-cell churn (federation deployment incarnations) use it so each
+// cold restart reuses the previous incarnation's engine instead of
+// allocating a fresh one; callers must hold no live references into the
+// engine (sequences, scratch) when they reclaim it.
+func (a *Arena) Reclaim(eng *serving.Engine) {
+	for i, l := range a.lent {
+		if l == eng {
+			a.lent[i] = a.lent[len(a.lent)-1]
+			a.lent[len(a.lent)-1] = nil
+			a.lent = a.lent[:len(a.lent)-1]
+			eng.Reset()
+			if a.free == nil {
+				a.free = make(map[serving.Config][]*serving.Engine)
+			}
+			a.free[eng.Config()] = append(a.free[eng.Config()], eng)
+			return
+		}
+	}
+}
+
 // EngineSimIn builds a kernel-driven engine instance on the arena's kernel,
 // drawing the engine from the arena pool. It panics on config errors, like
 // MustEngineSim (experiment setup with static catalog entries).

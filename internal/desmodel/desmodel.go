@@ -34,6 +34,12 @@ type Req struct {
 	// previously tracked this in a side map, a per-request map churn on the
 	// Table-1 hot path).
 	Session int
+	// Model indexes the requested model in a multi-model scenario's model
+	// list (Federation); single-model scenarios leave it zero.
+	Model int
+	// Migrations counts how many times the federation layer re-routed the
+	// request after its first placement died (drain or walltime hard-kill).
+	Migrations int
 
 	ArrivalAt   sim.Time // client send time
 	GatewayAt   sim.Time // admitted into the gateway window

@@ -18,11 +18,16 @@ type EngineSim struct {
 	k          *sim.Kernel
 	eng        *serving.Engine
 	running    bool
+	halted     bool
 	onComplete func(*serving.Sequence)
 
-	pending   serving.StepResult // iteration awaiting delivery
-	stepFn    func()
-	deliverFn func()
+	pending serving.StepResult // iteration awaiting delivery
+	// deliverPending is true from the moment an iteration's end event is
+	// scheduled until deliver consumes it; EachUndelivered/DeliveryPending
+	// let drivers see the completions trapped in that window.
+	deliverPending bool
+	stepFn         func()
+	deliverFn      func()
 
 	emitTimes []sim.Time
 	emitCum   []int64 // cumulative emitted tokens at emitTimes[i]
@@ -70,7 +75,46 @@ func (e *EngineSim) Depth() int { return e.eng.Depth() }
 // Stats exposes the wrapped engine's counters.
 func (e *EngineSim) Stats() serving.Stats { return e.eng.Stats() }
 
+// EachRunning visits the running batch (see serving.Engine.EachRunning).
+func (e *EngineSim) EachRunning(f func(*serving.Sequence)) { e.eng.EachRunning(f) }
+
+// EachWaiting visits live waiting sequences (see serving.Engine.EachWaiting).
+func (e *EngineSim) EachWaiting(f func(*serving.Sequence)) { e.eng.EachWaiting(f) }
+
+// Abort tombstones a waiting sequence by ID (drain: unadmitted work is
+// pulled back and migrated rather than served on a dying instance).
+func (e *EngineSim) Abort(id int64) bool { return e.eng.Abort(id) }
+
+// DeliveryPending reports whether an iteration has stepped but not yet
+// delivered: its completions are out of the engine's running batch (so
+// Depth misses them) but have not reached the driver either.
+func (e *EngineSim) DeliveryPending() bool { return e.deliverPending }
+
+// EachUndelivered visits sequences that finished in the currently in-flight
+// iteration (stepped, not yet delivered). A driver harvesting a hard-killed
+// instance must treat them as live work: on the dead node that iteration
+// never completed, so they are neither in EachRunning nor EachWaiting yet
+// their requests still need a home.
+func (e *EngineSim) EachUndelivered(f func(*serving.Sequence)) {
+	if !e.deliverPending {
+		return
+	}
+	for _, s := range e.pending.Completed {
+		f(s)
+	}
+}
+
+// Halt permanently idles the instance: pending iteration events become
+// no-ops and no further steps are scheduled. Drivers call it when a walltime
+// hard-kill tears the instance down with a batch still in flight — the
+// wrapped engine is abandoned to its arena (reclaimed and reset at the next
+// cell) or to the GC.
+func (e *EngineSim) Halt() { e.halted = true }
+
 func (e *EngineSim) step() {
+	if e.halted {
+		return
+	}
 	res := e.eng.Step(e.k.Now())
 	if !res.Busy {
 		e.running = false
@@ -80,12 +124,17 @@ func (e *EngineSim) step() {
 	// loop, so pending (and the engine scratch its Completed aliases) is
 	// consumed before the next Step can overwrite either.
 	e.pending = res
+	e.deliverPending = true
 	e.k.Schedule(res.Duration, e.deliverFn)
 }
 
 // deliver ends the iteration parked in pending: emissions recorded at the
 // iteration boundary, completions handed to the driver, sequences recycled.
 func (e *EngineSim) deliver() {
+	if e.halted {
+		return
+	}
+	e.deliverPending = false
 	res := e.pending
 	e.recordEmission(int64(res.EmittedTokens))
 	for _, seq := range res.Completed {

@@ -1,0 +1,634 @@
+package desmodel
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/argonne-first/first/internal/cluster"
+	"github.com/argonne-first/first/internal/federation"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/scheduler"
+	"github.com/argonne-first/first/internal/serving"
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// kernelClock adapts the event kernel's virtual timeline to clock.Clock so
+// live control-plane components (the PBS scheduler) can run inside a DES
+// scenario. Only Now/Since are served; Sleep/After panic — kernel-driven
+// components must take deterministic timers (scheduler.Config.Timer), never
+// block a goroutine.
+type kernelClock struct{ k *sim.Kernel }
+
+var kernelEpoch = time.Unix(0, 0).UTC()
+
+func (c kernelClock) Now() time.Time { return kernelEpoch.Add(c.k.Now()) }
+
+func (c kernelClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c kernelClock) Sleep(time.Duration) {
+	panic("desmodel: kernelClock cannot Sleep; wire a deterministic Timer instead")
+}
+
+func (c kernelClock) After(time.Duration) <-chan time.Time {
+	panic("desmodel: kernelClock cannot After; wire a deterministic Timer instead")
+}
+
+// FederationParams describe a multi-cluster federation scenario: N clusters,
+// each with a real inventory (cluster.Cluster) and a real PBS-like scheduler
+// (scheduler.Scheduler driven by the kernel through Config.Timer), serving M
+// models behind the sharded gateway front-end. Every request is routed by the
+// real federation.Select priority ladder (§4.5) over live state snapshots.
+type FederationParams struct {
+	// Clusters is the federation size (the paper federates Sophia+Polaris;
+	// the scenario family sweeps 2-8).
+	Clusters int
+	// NodesPerCluster and GPUsPerNode shape each cluster's inventory.
+	NodesPerCluster int
+	GPUsPerNode     int
+	GPU             perfmodel.GPUSpec
+	// Models are the served model specs. Model m's configuration-registry
+	// order (priority 3's "first configured") is the cluster list rotated by
+	// m, so first-configured load does not pile onto cluster 0 for every
+	// model.
+	Models []perfmodel.ModelSpec
+
+	// Gateway front-end: requests hash onto Shards serialized lanes charging
+	// CritSection each, then PostWork off-lock before the routing decision.
+	Shards      int
+	CritSection time.Duration
+	PostWork    time.Duration
+
+	// Prologue is the scheduler's Starting phase (node boot, container
+	// start) for every job, serving and background alike.
+	Prologue time.Duration
+	// ServeWalltime is how long a serving deployment runs after weights are
+	// loaded before it drains (endpoint walltime churn). The scheduler job's
+	// walltime is load + ServeWalltime + DrainGrace: if the running batch
+	// has not drained within the grace, the real walltime timer hard-kills
+	// the job mid-batch and the survivors migrate.
+	ServeWalltime time.Duration
+	DrainGrace    time.Duration
+
+	// Background science jobs compete with serving jobs for GPUs: each
+	// cluster submits one every BGPeriod (offset by BGStagger×cluster) that
+	// holds BGGPUs until its walltime expires. They are what pushes the
+	// priority ladder onto its capacity and first-configured rungs.
+	BGPeriod   time.Duration
+	BGStagger  time.Duration
+	BGWalltime time.Duration
+	BGGPUs     int
+}
+
+// DefaultFederationModels returns the served model mix: two 4-GPU models and
+// a 1-GPU model, so deployments pack unevenly onto 4-GPU nodes.
+func DefaultFederationModels() []perfmodel.ModelSpec {
+	return []perfmodel.ModelSpec{
+		perfmodel.Default.MustLookup(perfmodel.Llama8B),
+		perfmodel.Default.MustLookup(perfmodel.Gemma27B),
+		perfmodel.Default.MustLookup("Qwen/Qwen2.5-7B-Instruct"),
+	}
+}
+
+// DefaultFederationParams sizes a federation of `clusters` clusters: 2 nodes
+// × 4 GPUs each (8 GPUs — the three-model mix needs 9 and a background job 4
+// more, so no cluster can host everything and the priority ladder's capacity
+// and first-configured rungs genuinely fire), 10-minute serving walltimes
+// with 2-minute drain grace, and background churn on a ~7.5-minute cadence.
+func DefaultFederationParams(clusters int) FederationParams {
+	return FederationParams{
+		Clusters:        clusters,
+		NodesPerCluster: 2,
+		GPUsPerNode:     4,
+		GPU:             perfmodel.A100_40,
+		Models:          DefaultFederationModels(),
+		Shards:          16,
+		CritSection:     4 * time.Microsecond,
+		PostWork:        25 * time.Microsecond,
+		Prologue:        30 * time.Second,
+		ServeWalltime:   600 * time.Second,
+		DrainGrace:      120 * time.Second,
+		BGPeriod:        450 * time.Second,
+		BGStagger:       80 * time.Second,
+		BGWalltime:      300 * time.Second,
+		BGGPUs:          4,
+	}
+}
+
+// FedRungs counts routing decisions per priority rung.
+type FedRungs struct {
+	Active    int64 // rung 1: model running/starting/queued somewhere
+	Capacity  int64 // rung 2: a cluster had free GPUs for a cold start
+	FirstConf int64 // rung 3: nothing active, nothing fits — first configured
+}
+
+// FedClusterStats is one cluster's scenario-end accounting.
+type FedClusterStats struct {
+	Name       string
+	Routed     int64 // requests the ladder sent here
+	Served     int64 // requests completed here
+	ColdStarts int   // serving jobs submitted (Queued→Starting→Running)
+	Drains     int   // graceful walltime drains
+	HardKills  int   // walltime expiries that killed a live batch
+	// BusyGPUSeconds is Σ engine busy time × GPUs over all incarnations
+	// (utilization numerator; divide by total GPUs × horizon).
+	BusyGPUSeconds float64
+	// TotalGPUs is the cluster's inventory size.
+	TotalGPUs int
+	// SchedQueuedPeak is the deepest scheduler queue observed at submit
+	// time (serving restarts stacking behind background jobs).
+	SchedQueuedPeak int
+}
+
+// depState is a deployment's lifecycle position on one cluster.
+type depState uint8
+
+const (
+	depCold depState = iota
+	depQueued
+	depLoading
+	depServing
+	depDraining
+)
+
+// fedDep is one (cluster, model) deployment slot.
+type fedDep struct {
+	f     *Federation
+	c     *fedCluster
+	model int
+
+	state     depState
+	job       *scheduler.Job
+	eng       *EngineSim
+	pending   []*Req // parked until the deployment serves
+	drainDone bool   // a zero-delay drain-completion event is queued
+}
+
+// fedCluster is one simulated cluster: real inventory, real scheduler, one
+// deployment slot per model.
+type fedCluster struct {
+	f     *Federation
+	idx   int
+	cl    *cluster.Cluster
+	sched *scheduler.Scheduler
+	deps  []*fedDep
+
+	routed, served     int64
+	coldStarts, drains int
+	hardKills          int
+	busyGPU            time.Duration
+	queuedPeak         int
+}
+
+// Federation is the multi-cluster DES scenario: the sharded gateway
+// front-end in front of N cluster+scheduler instances, every request routed
+// by the real federation.Select over live snapshots, with deployments
+// churning through the full Queued→Starting→Running→drain/kill lifecycle.
+type Federation struct {
+	k *sim.Kernel
+	p FederationParams
+
+	newEngine func(m perfmodel.ModelSpec, onComplete func(*serving.Sequence)) *EngineSim
+	// recycle, when set, returns a dead incarnation's inner engine to the
+	// arena pool so the next cold restart reuses it.
+	recycle func(*serving.Engine)
+	done    func(*Req)
+
+	fe *shardFE
+
+	clusters []*fedCluster
+	scratch  []federation.EndpointInfo
+
+	rungs      FedRungs
+	migrations int64
+}
+
+func (p FederationParams) withDefaults() FederationParams {
+	d := DefaultFederationParams(p.Clusters)
+	if p.Clusters <= 0 {
+		p.Clusters = 4
+	}
+	// BGPeriod == 0 means background churn is off, so the BG fields are not
+	// unconditionally defaulted — but churn that is on must be complete: a
+	// walltime-less science job would hold its GPUs forever (scheduler
+	// semantics: Walltime 0 = unlimited) and starve serving restarts.
+	if p.BGPeriod > 0 {
+		if p.BGGPUs <= 0 {
+			p.BGGPUs = d.BGGPUs
+		}
+		if p.BGWalltime <= 0 {
+			p.BGWalltime = d.BGWalltime
+		}
+		if p.BGStagger <= 0 {
+			p.BGStagger = d.BGStagger
+		}
+	}
+	if p.NodesPerCluster <= 0 {
+		p.NodesPerCluster = d.NodesPerCluster
+	}
+	if p.GPUsPerNode <= 0 {
+		p.GPUsPerNode = d.GPUsPerNode
+	}
+	if p.GPU.Name == "" {
+		p.GPU = d.GPU
+	}
+	if len(p.Models) == 0 {
+		p.Models = d.Models
+	}
+	if p.Shards <= 0 {
+		p.Shards = d.Shards
+	}
+	if p.CritSection <= 0 {
+		p.CritSection = d.CritSection
+	}
+	if p.PostWork <= 0 {
+		p.PostWork = d.PostWork
+	}
+	if p.Prologue <= 0 {
+		p.Prologue = d.Prologue
+	}
+	if p.ServeWalltime <= 0 {
+		p.ServeWalltime = d.ServeWalltime
+	}
+	if p.DrainGrace <= 0 {
+		p.DrainGrace = d.DrainGrace
+	}
+	return p
+}
+
+// NewFederation builds the scenario on a bare kernel (unit tests).
+func NewFederation(k *sim.Kernel, p FederationParams, done func(*Req)) *Federation {
+	p = p.withDefaults()
+	return newFederation(k, p, func(m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
+		return MustEngineSim(k, m, p.GPU, 0, onC)
+	}, done)
+}
+
+// NewFederationIn builds the scenario drawing kernel and engines from an
+// experiment-fleet arena. Engines are borrowed per deployment incarnation
+// and reclaimed (reset) at the next cell.
+func NewFederationIn(a *Arena, p FederationParams, done func(*Req)) *Federation {
+	p = p.withDefaults()
+	f := newFederation(a.k, p, func(m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
+		return a.EngineSimIn(m, p.GPU, 0, onC)
+	}, done)
+	f.recycle = a.Reclaim
+	return f
+}
+
+func newFederation(k *sim.Kernel, p FederationParams, newEngine func(perfmodel.ModelSpec, func(*serving.Sequence)) *EngineSim, done func(*Req)) *Federation {
+	f := &Federation{
+		k:         k,
+		p:         p,
+		newEngine: newEngine,
+		done:      done,
+		fe:        newShardFE(k, p.Shards, p.CritSection),
+		scratch:   make([]federation.EndpointInfo, 0, p.Clusters),
+	}
+	for i := 0; i < p.Clusters; i++ {
+		c := &fedCluster{f: f, idx: i}
+		c.cl = cluster.New(fmt.Sprintf("fed-%d", i), p.NodesPerCluster, p.GPUsPerNode, p.GPU)
+		c.sched = scheduler.New(c.cl, kernelClock{k}, scheduler.Config{
+			Prologue: p.Prologue,
+			Backfill: true,
+			Timer:    k.Schedule,
+		})
+		for m := range p.Models {
+			c.deps = append(c.deps, &fedDep{f: f, c: c, model: m})
+		}
+		f.clusters = append(f.clusters, c)
+		if p.BGPeriod > 0 && p.BGGPUs > 0 {
+			// Background jobs self-schedule forever; open-loop drivers end
+			// the run with Kernel.Stop once the trace completes.
+			var bg func()
+			bg = func() {
+				c.submitBG()
+				k.Schedule(p.BGPeriod, bg)
+			}
+			k.Schedule(p.BGStagger*time.Duration(i)+p.BGPeriod/2, bg)
+		}
+	}
+	return f
+}
+
+// submitBG submits one background science job; the scheduler's own walltime
+// timer reclaims it (the real TimedOut path).
+func (c *fedCluster) submitBG() {
+	_, err := c.sched.Submit(scheduler.JobSpec{
+		Name:     "science-batch",
+		User:     "bg",
+		GPUs:     c.f.p.BGGPUs,
+		Walltime: c.f.p.BGWalltime,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.noteQueued()
+}
+
+func (c *fedCluster) noteQueued() {
+	if q := c.sched.QueuedCount(); q > c.queuedPeak {
+		c.queuedPeak = q
+	}
+}
+
+// Arrive is a client request hitting the federation gateway: shard-lane
+// admission (serialized critical section), PostWork, then the routing
+// decision.
+func (f *Federation) Arrive(r *Req) {
+	r.ArrivalAt = f.k.Now()
+	f.fe.admit(uint64(r.ID), func() {
+		r.GatewayAt = f.k.Now()
+		f.k.Schedule(f.p.PostWork, func() { f.route(r) })
+	})
+}
+
+// route applies the real federation.Select priority ladder over live
+// snapshots of every cluster's deployment and inventory state.
+func (f *Federation) route(r *Req) {
+	m := r.Model
+	n := len(f.clusters)
+	spec := &f.p.Models[m]
+	infos := f.scratch[:0]
+	for i := 0; i < n; i++ {
+		c := f.clusters[(m+i)%n]
+		d := c.deps[m]
+		infos = append(infos, federation.EndpointInfo{
+			ID:         c.cl.Name(),
+			ModelState: d.modelState(),
+			FreeGPUs:   c.cl.Status().FreeGPUs,
+			NeededGPUs: spec.TensorParallel,
+			Depth:      d.depth(),
+		})
+	}
+	f.scratch = infos[:0]
+	idx, reason, err := federation.Select(infos)
+	if err != nil {
+		panic(err) // unreachable: the candidate list is never empty
+	}
+	switch reason {
+	case federation.ReasonActive:
+		f.rungs.Active++
+	case federation.ReasonCapacity:
+		f.rungs.Capacity++
+	default:
+		f.rungs.FirstConf++
+	}
+	target := f.clusters[(m+idx)%n]
+	target.routed++
+	target.deps[m].offer(r)
+}
+
+// migrate re-routes a request whose placement died.
+func (f *Federation) migrate(r *Req) {
+	r.Migrations++
+	f.migrations++
+	f.route(r)
+}
+
+// modelState maps the deployment lifecycle onto the paper's §4.3 states.
+// Draining deployments report cold: they must not attract new work, and
+// their held GPUs keep the capacity rung honest.
+func (d *fedDep) modelState() string {
+	switch d.state {
+	case depQueued:
+		if d.job != nil && d.job.State() == scheduler.Starting {
+			return "starting"
+		}
+		return "queued"
+	case depLoading:
+		return "starting"
+	case depServing:
+		return "running"
+	default:
+		return "cold"
+	}
+}
+
+// depth is the deployment's total queue depth (federation tie-break input).
+func (d *fedDep) depth() int {
+	n := len(d.pending)
+	if d.eng != nil {
+		n += d.eng.Depth()
+	}
+	return n
+}
+
+// offer delivers a routed request: straight into the engine when serving,
+// parked (and cold-starting the deployment if needed) otherwise.
+func (d *fedDep) offer(r *Req) {
+	if d.state == depServing {
+		r.EngineAt = d.f.k.Now()
+		d.eng.Submit(r.PromptTok, r.OutputTok, r)
+		return
+	}
+	d.pending = append(d.pending, r)
+	if d.state == depCold {
+		d.start()
+	}
+}
+
+// start submits the serving job: the deployment enters the scheduler's real
+// Queued→Starting→Running lifecycle, competing with background jobs.
+func (d *fedDep) start() {
+	f := d.f
+	spec := f.p.Models[d.model]
+	load := spec.LoadTime(f.p.GPU)
+	d.state = depQueued
+	d.c.coldStarts++
+	job, err := d.c.sched.Submit(scheduler.JobSpec{
+		Name:      spec.Name,
+		User:      "first-serve",
+		GPUs:      spec.TensorParallel,
+		Walltime:  load + f.p.ServeWalltime + f.p.DrainGrace,
+		OnRunning: func(j *scheduler.Job) { d.onJobRunning(j, load) },
+		OnEnd:     func(j *scheduler.Job, st scheduler.State) { d.onJobEnd(j, st) },
+	})
+	if err != nil {
+		panic(err) // unreachable: GPUs > 0 and the scheduler is never closed
+	}
+	d.job = job
+	d.c.noteQueued()
+}
+
+// onJobRunning fires when the scheduler grants nodes (Starting→Running):
+// the instance boots and loads weights before it can serve.
+func (d *fedDep) onJobRunning(j *scheduler.Job, load time.Duration) {
+	if d.job != j {
+		return
+	}
+	d.state = depLoading
+	d.f.k.Schedule(load, func() { d.onLoaded(j) })
+}
+
+// onLoaded opens the deployment for traffic: the engine incarnation is
+// created, parked requests flush into it, and the serve-walltime drain is
+// armed.
+func (d *fedDep) onLoaded(j *scheduler.Job) {
+	if d.job != j || d.state != depLoading {
+		return
+	}
+	f := d.f
+	spec := f.p.Models[d.model]
+	d.state = depServing
+	d.eng = f.newEngine(spec, func(seq *serving.Sequence) { d.onServed(j, seq) })
+	pend := d.pending
+	d.pending = nil
+	now := f.k.Now()
+	for _, r := range pend {
+		r.EngineAt = now
+		d.eng.Submit(r.PromptTok, r.OutputTok, r)
+	}
+	f.k.Schedule(f.p.ServeWalltime, func() { d.beginDrain(j) })
+}
+
+// onServed completes one request and, while draining, watches for the batch
+// to empty. The drain completion runs on a zero-delay event so every
+// completion delivered by the current engine iteration reaches the client
+// before the job is torn down.
+func (d *fedDep) onServed(j *scheduler.Job, seq *serving.Sequence) {
+	r := seq.Ctx.(*Req)
+	now := d.f.k.Now()
+	r.CompletedAt = now
+	r.ObservedAt = now
+	d.c.served++
+	if d.f.done != nil {
+		d.f.done(r)
+	}
+	if d.state == depDraining && d.job == j {
+		d.maybeFinishDrain(j)
+	}
+}
+
+// maybeFinishDrain schedules the drain completion once the deployment has
+// nothing live: no queued or running work and no in-flight delivery (a miss
+// on the latter would tear the job down with completions undelivered). Runs
+// on a zero-delay event so every completion delivered by the current engine
+// iteration reaches the client before the job is released.
+func (d *fedDep) maybeFinishDrain(j *scheduler.Job) {
+	if d.drainDone || d.eng.Depth() != 0 || d.eng.DeliveryPending() {
+		return
+	}
+	d.drainDone = true
+	d.f.k.Schedule(0, func() { d.finishDrain(j) })
+}
+
+// beginDrain is the serve-walltime expiring: the deployment stops accepting
+// work, unadmitted requests migrate to other clusters, and the running batch
+// gets DrainGrace to finish before the scheduler's walltime hard-kills it.
+func (d *fedDep) beginDrain(j *scheduler.Job) {
+	if d.job != j || d.state != depServing {
+		return
+	}
+	d.state = depDraining
+	d.c.drains++
+	pend := d.pending
+	d.pending = nil
+	for _, r := range pend {
+		d.f.migrate(r)
+	}
+	// Pull engine-waiting sequences back: collect first (Abort mutates the
+	// ring), then tombstone, then re-route.
+	type waiting struct {
+		id int64
+		r  *Req
+	}
+	var ws []waiting
+	d.eng.EachWaiting(func(s *serving.Sequence) {
+		ws = append(ws, waiting{s.ID, s.Ctx.(*Req)})
+	})
+	for _, w := range ws {
+		d.eng.Abort(w.id)
+	}
+	for _, w := range ws {
+		d.f.migrate(w.r)
+	}
+	d.maybeFinishDrain(j)
+}
+
+// finishDrain releases the drained job back to the scheduler (Completed).
+func (d *fedDep) finishDrain(j *scheduler.Job) {
+	if d.job != j || d.state != depDraining {
+		return
+	}
+	d.c.sched.Complete(j.ID)
+}
+
+// onJobEnd is the scheduler's terminal callback: graceful drain completion
+// (Completed) or the real walltime timer firing with a live batch
+// (TimedOut). Either way the incarnation is harvested, survivors migrate,
+// and pending demand cold-restarts the deployment.
+func (d *fedDep) onJobEnd(j *scheduler.Job, terminal scheduler.State) {
+	if d.job != j {
+		return
+	}
+	f := d.f
+	spec := f.p.Models[d.model]
+	hardKill := terminal == scheduler.TimedOut
+	d.job = nil
+	d.drainDone = false
+	var orphans []*Req
+	if d.eng != nil {
+		d.c.busyGPU += time.Duration(int64(d.eng.Stats().BusyTime) * int64(spec.TensorParallel))
+		if hardKill {
+			d.eng.EachWaiting(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
+			d.eng.EachRunning(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
+			// Completions of the iteration in flight at kill time never
+			// finished on the dead node: they are live work too, invisible
+			// to both iterators above (Step already removed them from the
+			// batch, Halt will drop their delivery).
+			d.eng.EachUndelivered(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
+			d.c.hardKills++
+		}
+		d.eng.Halt()
+		// The halted sim's remaining events are no-ops that never touch the
+		// inner engine, and every live sequence has been harvested above, so
+		// the engine itself can go back to the arena pool for the next
+		// incarnation instead of waiting for cell teardown.
+		if f.recycle != nil {
+			f.recycle(d.eng.eng)
+		}
+		d.eng = nil
+	}
+	d.state = depCold
+	pend := d.pending
+	d.pending = nil
+	for _, r := range pend {
+		f.migrate(r)
+	}
+	for _, r := range orphans {
+		f.migrate(r)
+	}
+}
+
+// Rungs returns the per-rung routing decision counts.
+func (f *Federation) Rungs() FedRungs { return f.rungs }
+
+// Migrations returns how many times requests were re-routed off a dying
+// placement.
+func (f *Federation) Migrations() int64 { return f.migrations }
+
+// ClusterStats snapshots per-cluster accounting, folding in any still-live
+// engine incarnations (closed-loop runs end mid-flight).
+func (f *Federation) ClusterStats() []FedClusterStats {
+	out := make([]FedClusterStats, len(f.clusters))
+	for i, c := range f.clusters {
+		busy := c.busyGPU
+		for _, d := range c.deps {
+			if d.eng != nil {
+				busy += time.Duration(int64(d.eng.Stats().BusyTime) * int64(f.p.Models[d.model].TensorParallel))
+			}
+		}
+		out[i] = FedClusterStats{
+			Name:            c.cl.Name(),
+			Routed:          c.routed,
+			Served:          c.served,
+			ColdStarts:      c.coldStarts,
+			Drains:          c.drains,
+			HardKills:       c.hardKills,
+			BusyGPUSeconds:  busy.Seconds(),
+			TotalGPUs:       f.p.NodesPerCluster * f.p.GPUsPerNode,
+			SchedQueuedPeak: c.queuedPeak,
+		}
+	}
+	return out
+}

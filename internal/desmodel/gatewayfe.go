@@ -34,29 +34,61 @@ func DefaultGatewayFEParams(shards int) GatewayFEParams {
 	}
 }
 
+// shardFE is the sharded admission front-end shared by the storm and
+// federation scenarios: requests hash onto one of a power-of-two set of
+// serialized lanes, each charging a critical section per item, and continue
+// off-lane from there. Shard count is rounded up to a power of two so the
+// hash is a mask, mirroring the live gateway.
+type shardFE struct {
+	k      *sim.Kernel
+	shards []*lane
+	mask   uint64
+}
+
+func newShardFE(k *sim.Kernel, shards int, critSection time.Duration) *shardFE {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	fe := &shardFE{k: k, mask: uint64(n - 1)}
+	for i := 0; i < n; i++ {
+		fe.shards = append(fe.shards, newLane(k, critSection))
+	}
+	return fe
+}
+
+// admit hashes an identity onto its shard lane and runs then once the lane
+// has charged the critical section.
+func (fe *shardFE) admit(id uint64, then func()) {
+	fe.shards[splitmix64(id)&fe.mask].enqueue(then)
+}
+
+// peakShardQueue reports the deepest backlog any shard lane reached — the
+// observable congestion signal (a single-lock arm's queue grows with the
+// whole storm; sharded arms stay shallow).
+func (fe *shardFE) peakShardQueue() int {
+	peak := 0
+	for _, ln := range fe.shards {
+		if ln.maxDepth > peak {
+			peak = ln.maxDepth
+		}
+	}
+	return peak
+}
+
 // GatewayFE is the front-end-only path on a kernel: requests hash to a
 // shard lane (a serialized queue charging CritSection per item) and complete
 // after PostWork. No engine sits behind it — the scenario isolates admission.
 type GatewayFE struct {
-	k      *sim.Kernel
-	p      GatewayFEParams
-	shards []*lane
-	mask   uint64
-	done   func(*Req)
+	k    *sim.Kernel
+	p    GatewayFEParams
+	fe   *shardFE
+	done func(*Req)
 }
 
-// NewGatewayFE builds the front-end model. Shards is rounded up to a power
-// of two so request hashing is a mask, mirroring the live gateway.
+// NewGatewayFE builds the front-end model.
 func NewGatewayFE(k *sim.Kernel, p GatewayFEParams, done func(*Req)) *GatewayFE {
-	n := 1
-	for n < p.Shards {
-		n <<= 1
-	}
-	s := &GatewayFE{k: k, p: p, mask: uint64(n - 1), done: done}
-	for i := 0; i < n; i++ {
-		s.shards = append(s.shards, newLane(k, p.CritSection))
-	}
-	return s
+	return &GatewayFE{k: k, p: p, fe: newShardFE(k, p.Shards, p.CritSection), done: done}
 }
 
 // splitmix64 spreads sequential user IDs uniformly over shards.
@@ -72,8 +104,7 @@ func splitmix64(x uint64) uint64 {
 // request hashes independently.
 func (s *GatewayFE) Arrive(r *Req) {
 	r.ArrivalAt = s.k.Now()
-	ln := s.shards[splitmix64(uint64(r.ID))&s.mask]
-	ln.enqueue(func() {
+	s.fe.admit(uint64(r.ID), func() {
 		r.GatewayAt = s.k.Now()
 		s.k.Schedule(s.p.PostWork, func() {
 			r.CompletedAt = s.k.Now()
@@ -85,15 +116,6 @@ func (s *GatewayFE) Arrive(r *Req) {
 	})
 }
 
-// PeakShardQueue reports the deepest backlog any shard lane reached — the
-// storm's observable congestion signal (the single-lock arm's queue grows
-// with the whole storm; sharded arms stay shallow).
-func (s *GatewayFE) PeakShardQueue() int {
-	peak := 0
-	for _, ln := range s.shards {
-		if ln.maxDepth > peak {
-			peak = ln.maxDepth
-		}
-	}
-	return peak
-}
+// PeakShardQueue exposes the front-end's congestion high-water mark (the
+// storm experiment's headline observable).
+func (s *GatewayFE) PeakShardQueue() int { return s.fe.peakShardQueue() }

@@ -139,23 +139,31 @@ func BenchPaths(dir string) ([]string, error) {
 }
 
 // DiffLatest diffs the two newest records in dir. With fewer than two
-// records there is nothing to compare: it reports ok with a notice.
-func DiffLatest(dir string) (regs []BenchRegression, notice string, err error) {
+// records — a fork's shallow checkout carrying only one, or a fresh tree
+// with none — there is nothing to compare and the diff is skipped, not
+// failed: skipped is true and the notice says what to do about it. A
+// missing directory stays an error: that is a mistyped -diff-dir or the
+// wrong working directory, and a silent pass there would green-light the
+// gate while comparing nothing.
+func DiffLatest(dir string) (regs []BenchRegression, notice string, skipped bool, err error) {
 	paths, err := BenchPaths(dir)
+	if os.IsNotExist(err) {
+		return nil, "", false, fmt.Errorf("bench-diff: directory %s does not exist; run from the repository root (or pass -diff-dir)", dir)
+	}
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	if len(paths) < 2 {
-		return nil, fmt.Sprintf("found %d BENCH record(s) in %s; need 2 to diff", len(paths), dir), nil
+		return nil, fmt.Sprintf("skipped — found %d BENCH_<n>.json record(s) in %s, need 2 to compare; run `make bench` to add one", len(paths), dir), true, nil
 	}
 	prevPath, curPath := paths[len(paths)-2], paths[len(paths)-1]
 	prev, err := ReadBench(prevPath)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	cur, err := ReadBench(curPath)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
-	return DiffBench(prev, cur), fmt.Sprintf("comparing %s -> %s", filepath.Base(prevPath), filepath.Base(curPath)), nil
+	return DiffBench(prev, cur), fmt.Sprintf("comparing %s -> %s", filepath.Base(prevPath), filepath.Base(curPath)), false, nil
 }

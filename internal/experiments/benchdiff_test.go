@@ -3,6 +3,7 @@ package experiments
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -97,21 +98,41 @@ func TestBenchPathsOrdersNumerically(t *testing.T) {
 
 func TestDiffLatest(t *testing.T) {
 	dir := t.TempDir()
-	if _, notice, err := DiffLatest(dir); err != nil || notice == "" {
-		t.Errorf("empty dir: notice=%q err=%v", notice, err)
+	// Zero records: skip with a clear notice, never an error (fresh tree).
+	if _, notice, skipped, err := DiffLatest(dir); err != nil || !skipped || notice == "" {
+		t.Errorf("empty dir: skipped=%v notice=%q err=%v", skipped, notice, err)
 	}
+	// One record: the fork/shallow-clone case the satellite fixes — skip,
+	// point at `make bench`, exit clean.
 	if err := WriteBench(recWith(100, 10, 0), filepath.Join(dir, "BENCH_1.json")); err != nil {
 		t.Fatal(err)
+	}
+	if _, notice, skipped, err := DiffLatest(dir); err != nil || !skipped {
+		t.Errorf("single record: skipped=%v notice=%q err=%v", skipped, notice, err)
+	} else if !strings.Contains(notice, "make bench") {
+		t.Errorf("single-record notice %q does not say how to proceed", notice)
 	}
 	if err := WriteBench(recWith(150, 10, 0), filepath.Join(dir, "BENCH_2.json")); err != nil {
 		t.Fatal(err)
 	}
-	regs, notice, err := DiffLatest(dir)
-	if err != nil {
-		t.Fatal(err)
+	regs, notice, skipped, err := DiffLatest(dir)
+	if err != nil || skipped {
+		t.Fatalf("two records: skipped=%v err=%v", skipped, err)
 	}
 	if len(regs) != 1 {
 		t.Errorf("regs = %v (notice %q)", regs, notice)
+	}
+}
+
+func TestDiffLatestMissingDir(t *testing.T) {
+	// A nonexistent directory is operator error (mistyped -diff-dir), not a
+	// fresh tree: it must fail loudly, never skip-pass the gate.
+	_, _, skipped, err := DiffLatest(filepath.Join(t.TempDir(), "nope"))
+	if err == nil || skipped {
+		t.Errorf("missing dir: skipped=%v err=%v, want a hard error", skipped, err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("missing-dir error %q does not name the problem", err)
 	}
 }
 

@@ -163,6 +163,21 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		}
 		return m
 	})
+	timed("federate", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunFederateOn(f, seed) {
+			key := fmt.Sprintf("%s_c%d", r.Mode, r.Clusters)
+			m[key+"_req_s"] = r.M.ReqPerSec
+			m[key+"_med_s"] = r.M.MedianLatS
+			m[key+"_migrations"] = float64(r.Migrations)
+			if r.Mode == "open" && r.Clusters == 4 {
+				m[key+"_rung_active"] = float64(r.Rungs.Active)
+				m[key+"_rung_capacity"] = float64(r.Rungs.Capacity)
+				m[key+"_rung_firstconf"] = float64(r.Rungs.FirstConf)
+			}
+		}
+		return m
+	})
 	// WallMS keeps its v1 meaning — experiment regeneration time only — so
 	// the headline number stays comparable across records; the micro pass
 	// times itself per series.

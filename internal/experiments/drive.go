@@ -59,6 +59,10 @@ type closedLoop struct {
 	chatHistory bool
 	historyCap  int
 	history     []int
+
+	// assign, when set, stamps scenario-specific routing fields (e.g. the
+	// federate family's per-session model) on each request before Arrive.
+	assign func(*desmodel.Req)
 }
 
 func newClosedLoop(k *sim.Kernel, spec workload.LengthSpec, seed int64, sessions int, thinkTime time.Duration) *closedLoop {
@@ -92,6 +96,9 @@ func (c *closedLoop) issue(session int) {
 	}
 	c.issued++
 	r := &desmodel.Req{ID: c.issued, PromptTok: p, OutputTok: o, Session: session}
+	if c.assign != nil {
+		c.assign(r)
+	}
 	c.sys.Arrive(r)
 }
 

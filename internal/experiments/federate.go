@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// The federate experiment family drives the paper's §4.5 federation layer at
+// beyond-paper scale: every request flows through the sharded gateway
+// front-end, the real federation.Select priority ladder, a real PBS-like
+// scheduler per cluster (kernel-driven), and continuous-batching engine
+// instances — with mid-run endpoint churn (walltime drains, hard kills, cold
+// restarts through Queued→Starting→Running) migrating requests between
+// clusters. It is the first scenario where every layer of the reproduction
+// runs inside one simulated system.
+
+// FederateCell is one cell of the family: either an open-loop Poisson trace
+// (OpenLoopReqs > 0) or a closed-loop WebUI session population.
+type FederateCell struct {
+	Clusters     int
+	OpenLoopReqs int
+	RatePerSec   float64
+	Sessions     int
+	WindowS      int
+	ThinkS       int
+	// Churn tempo overrides in seconds (0 = DefaultFederationParams): short
+	// horizons need faster walltimes to exercise drains and migration.
+	ServeWalltimeS int
+	DrainGraceS    int
+	BGPeriodS      int
+}
+
+// params resolves the cell's federation parameters.
+func (c FederateCell) params() desmodel.FederationParams {
+	p := desmodel.DefaultFederationParams(c.Clusters)
+	if c.ServeWalltimeS > 0 {
+		p.ServeWalltime = time.Duration(c.ServeWalltimeS) * time.Second
+	}
+	if c.DrainGraceS > 0 {
+		p.DrainGrace = time.Duration(c.DrainGraceS) * time.Second
+	}
+	if c.BGPeriodS > 0 {
+		p.BGPeriod = time.Duration(c.BGPeriodS) * time.Second
+		p.BGStagger = p.BGPeriod / 5
+		p.BGWalltime = p.BGPeriod * 2 / 3
+	}
+	return p
+}
+
+// FederateCells is the full-scale family the ROADMAP calls for: 10⁶
+// open-loop requests through a 4-cluster federation (plus 2- and 8-cluster
+// sweep points) and 10⁴ closed-loop WebUI sessions.
+var FederateCells = []FederateCell{
+	{Clusters: 2, OpenLoopReqs: 200_000, RatePerSec: 200},
+	{Clusters: 4, OpenLoopReqs: 1_000_000, RatePerSec: 200},
+	{Clusters: 8, OpenLoopReqs: 200_000, RatePerSec: 200},
+	{Clusters: 4, Sessions: 10_000, WindowS: 300, ThinkS: 30,
+		ServeWalltimeS: 120, DrainGraceS: 60, BGPeriodS: 150},
+}
+
+// FederateCellsShort is the scaled-down family for per-PR differential
+// tests; the nightly CI job runs the full one (see TestFederateFullScale).
+var FederateCellsShort = []FederateCell{
+	{Clusters: 2, OpenLoopReqs: 20_000, RatePerSec: 200,
+		ServeWalltimeS: 45, DrainGraceS: 15, BGPeriodS: 80},
+	{Clusters: 4, OpenLoopReqs: 40_000, RatePerSec: 200,
+		ServeWalltimeS: 45, DrainGraceS: 15, BGPeriodS: 80},
+	{Clusters: 3, Sessions: 1_000, WindowS: 120, ThinkS: 30,
+		ServeWalltimeS: 45, DrainGraceS: 15, BGPeriodS: 80},
+}
+
+// FederateRow is one cell's results.
+type FederateRow struct {
+	Clusters int
+	Mode     string // "open" or "webui"
+	Offered  int    // open-loop trace length or issued session turns
+	M        desmodel.Metrics
+
+	Rungs      desmodel.FedRungs
+	Migrations int64
+	// MigratedMedianS is the median end-to-end latency of migrated requests
+	// (the churn penalty clients actually observe).
+	MigratedMedianS float64
+	ColdStarts      int
+	Drains          int
+	HardKills       int
+	// UtilMeanPct / UtilMaxPct are cluster GPU-busy utilization over the
+	// horizon (mean and busiest cluster).
+	UtilMeanPct float64
+	UtilMaxPct  float64
+	// SchedQueuedPeak is the deepest scheduler queue across clusters.
+	SchedQueuedPeak int
+}
+
+// federateEventBudget aborts a runaway cell: background jobs self-schedule
+// forever, so a request-accounting bug would otherwise spin the kernel
+// silently instead of failing loudly.
+const federateEventBudget = 400_000_000
+
+// RunFederate regenerates the full family on the default parallel fleet.
+func RunFederate(seed int64) []FederateRow { return RunFederateOn(Parallel, seed) }
+
+// RunFederateOn regenerates the full family on f.
+func RunFederateOn(f Fleet, seed int64) []FederateRow {
+	return RunFederateCellsOn(f, seed, FederateCells)
+}
+
+// RunFederateCellsOn fans the given cells over the fleet. Each cell's RNG
+// seeds derive from (seed, cell shape) only, so results are byte-identical
+// across worker counts and queue kinds.
+func RunFederateCellsOn(f Fleet, seed int64, cells []FederateCell) []FederateRow {
+	rows := make([]FederateRow, len(cells))
+	f.RunArena(len(cells), func(i int, a *desmodel.Arena) {
+		c := cells[i]
+		if c.OpenLoopReqs > 0 {
+			rows[i] = federateOpen(a, c, seed)
+		} else {
+			rows[i] = federateWebUI(a, c, seed)
+		}
+	})
+	return rows
+}
+
+// federateOpen drives an open-loop Poisson trace; arrivals self-schedule so
+// the kernel never holds the whole trace, and the run stops at the last
+// completion (background churn events would otherwise run forever).
+func federateOpen(a *desmodel.Arena, c FederateCell, seed int64) FederateRow {
+	k := a.Begin()
+	k.MaxEvents = federateEventBudget
+	defer func() { k.MaxEvents = 0 }()
+	p := c.params()
+	n := c.OpenLoopReqs
+	completed := 0
+	sys := desmodel.NewFederationIn(a, p, func(*desmodel.Req) {
+		completed++
+		if completed == n {
+			k.Stop()
+		}
+	})
+	spec := workload.FederateOpen()
+	rng := sim.NewRNG(seed + int64(c.Clusters)*1_000_003 + int64(n))
+	models := len(p.Models)
+	gapMean := float64(time.Second) / c.RatePerSec
+	reqs := make([]*desmodel.Req, n)
+	idx := 0
+	var step func()
+	step = func() {
+		pt, ot := spec.SampleLengths(rng)
+		r := &desmodel.Req{ID: idx + 1, PromptTok: pt, OutputTok: ot, Model: rng.Intn(models)}
+		reqs[idx] = r
+		sys.Arrive(r)
+		idx++
+		if idx < n {
+			k.Schedule(time.Duration(rng.Exp(gapMean)), step)
+		}
+	}
+	k.Schedule(time.Duration(rng.Exp(gapMean)), step)
+	end := k.Run(0)
+	return federateRow(sys, c, "open", n, reqs, end)
+}
+
+// federateWebUI drives closed-loop WebUI chat sessions (stateful history,
+// think time) against the federation; each session sticks to one model.
+func federateWebUI(a *desmodel.Arena, c FederateCell, seed int64) FederateRow {
+	k := a.Begin()
+	k.MaxEvents = federateEventBudget
+	defer func() { k.MaxEvents = 0 }()
+	p := c.params()
+	think := time.Duration(c.ThinkS) * time.Second
+	loop := newClosedLoop(k, workload.WebUI(), seed+int64(c.Clusters)+int64(c.Sessions), c.Sessions, think)
+	loop.enableChatHistory(8192)
+	models := len(p.Models)
+	loop.assign = func(r *desmodel.Req) { r.Model = r.Session % models }
+	sys := desmodel.NewFederationIn(a, p, loop.onDone)
+	loop.start(sys)
+	window := time.Duration(c.WindowS) * time.Second
+	end := k.Run(window)
+	return federateRow(sys, c, "webui", loop.issued, loop.finished, end)
+}
+
+func federateRow(sys *desmodel.Federation, c FederateCell, mode string, offered int, reqs []*desmodel.Req, end sim.Time) FederateRow {
+	row := FederateRow{
+		Clusters:   c.Clusters,
+		Mode:       mode,
+		Offered:    offered,
+		M:          desmodel.Collect(reqs),
+		Rungs:      sys.Rungs(),
+		Migrations: sys.Migrations(),
+	}
+	var migrated []float64
+	for _, r := range reqs {
+		if r != nil && r.Migrations > 0 && !r.Failed && r.ObservedAt > 0 {
+			migrated = append(migrated, sim.Sec(r.ObservedAt-r.ArrivalAt))
+		}
+	}
+	if len(migrated) > 0 {
+		sort.Float64s(migrated)
+		row.MigratedMedianS = migrated[len(migrated)/2]
+	}
+	horizon := sim.Sec(end)
+	var utilSum float64
+	for _, cs := range sys.ClusterStats() {
+		row.ColdStarts += cs.ColdStarts
+		row.Drains += cs.Drains
+		row.HardKills += cs.HardKills
+		if cs.SchedQueuedPeak > row.SchedQueuedPeak {
+			row.SchedQueuedPeak = cs.SchedQueuedPeak
+		}
+		util := 0.0
+		if horizon > 0 && cs.TotalGPUs > 0 {
+			util = 100 * cs.BusyGPUSeconds / (float64(cs.TotalGPUs) * horizon)
+		}
+		utilSum += util
+		if util > row.UtilMaxPct {
+			row.UtilMaxPct = util
+		}
+	}
+	if c.Clusters > 0 {
+		row.UtilMeanPct = utilSum / float64(c.Clusters)
+	}
+	return row
+}

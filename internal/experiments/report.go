@@ -57,10 +57,31 @@ func ReportOn(w io.Writer, which string, seed int64, f Fleet) error {
 		ReportStorm(w, RunStormOn(f, seed))
 		ran = true
 	}
+	if all || which == "federate" {
+		ReportFederate(w, RunFederateOn(f, seed))
+		ran = true
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|federate|all)", which)
 	}
 	return nil
+}
+
+// ReportFederate prints the federation-at-scale family: open-loop traces and
+// closed-loop WebUI sessions routed by the real priority ladder across 2-8
+// churning clusters.
+func ReportFederate(w io.Writer, rows []FederateRow) {
+	fmt.Fprintln(w, "== Federation at scale: priority routing across churning clusters (§4.5 beyond paper size) ==")
+	fmt.Fprintln(w, "mode   clus  offered   done     req/s  med-lat(s)  p99(s)  rung a/c/f              migr  migr-med(s)  cold/drain/kill  util mean/max%  sq-peak")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-4d %8d %8d %8.1f  %9.2f %7.2f  %8d/%7d/%5d %7d  %10.2f  %4d/%4d/%3d   %5.1f/%5.1f     %5d\n",
+			r.Mode, r.Clusters, r.Offered, r.M.Completed, r.M.ReqPerSec, r.M.MedianLatS, r.M.P99LatS,
+			r.Rungs.Active, r.Rungs.Capacity, r.Rungs.FirstConf,
+			r.Migrations, r.MigratedMedianS,
+			r.ColdStarts, r.Drains, r.HardKills,
+			r.UtilMeanPct, r.UtilMaxPct, r.SchedQueuedPeak)
+	}
+	fmt.Fprintln(w)
 }
 
 // ReportStorm prints the arrival-storm study: front-end admission under a

@@ -1,6 +1,9 @@
 package federation
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -82,8 +85,156 @@ func TestSelectPriorityRules(t *testing.T) {
 }
 
 func TestSelectEmpty(t *testing.T) {
-	if _, _, err := Select(nil); err == nil {
-		t.Error("empty candidate list accepted")
+	if idx, _, err := Select(nil); err == nil || idx != -1 {
+		t.Errorf("empty candidate list: idx=%d err=%v, want -1 and an error", idx, err)
+	}
+	if idx, _, err := Select([]EndpointInfo{}); err == nil || idx != -1 {
+		t.Errorf("zero-length candidate slice: idx=%d err=%v, want -1 and an error", idx, err)
+	}
+}
+
+// TestSelectAllColdRegistry covers a registry where every endpoint is cold:
+// capacity decides when some cluster fits, and endpoints advertising
+// NeededGPUs=0 (no catalog entry for the cluster's GPU shape) must never win
+// the capacity rung on a vacuous 0≥0 comparison.
+func TestSelectAllColdRegistry(t *testing.T) {
+	cases := []struct {
+		name       string
+		candidates []EndpointInfo
+		wantIdx    int
+		wantReason Reason
+	}{
+		{
+			name: "first fitting cluster wins capacity",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 7, NeededGPUs: 8},
+				{ID: "b", ModelState: "cold", FreeGPUs: 8, NeededGPUs: 8},
+				{ID: "c", ModelState: "cold", FreeGPUs: 64, NeededGPUs: 8},
+			},
+			wantIdx: 1, wantReason: ReasonCapacity,
+		},
+		{
+			name: "zero-need endpoints cannot win capacity",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 0, NeededGPUs: 0},
+				{ID: "b", ModelState: "cold", FreeGPUs: 0, NeededGPUs: 8},
+			},
+			wantIdx: 0, wantReason: ReasonFirstConf,
+		},
+		{
+			name: "exhausted registry falls to first configured",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 3, NeededGPUs: 4},
+				{ID: "b", ModelState: "cold", FreeGPUs: 2, NeededGPUs: 4},
+				{ID: "c", ModelState: "cold", FreeGPUs: 0, NeededGPUs: 4},
+			},
+			wantIdx: 0, wantReason: ReasonFirstConf,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			idx, reason, err := Select(c.candidates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != c.wantIdx || reason != c.wantReason {
+				t.Errorf("Select = (%d, %s), want (%d, %s)", idx, reason, c.wantIdx, c.wantReason)
+			}
+		})
+	}
+}
+
+// TestSelectDepthTieBreaks pins the tie semantics among active endpoints:
+// strictly smaller depth wins, equal depth keeps the earliest-configured
+// endpoint, and cold endpoints never join the depth comparison.
+func TestSelectDepthTieBreaks(t *testing.T) {
+	cases := []struct {
+		name       string
+		candidates []EndpointInfo
+		wantIdx    int
+	}{
+		{
+			name: "equal depths keep configuration order",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 7},
+				{ID: "b", ModelState: "running", Depth: 7},
+				{ID: "c", ModelState: "running", Depth: 7},
+			},
+			wantIdx: 0,
+		},
+		{
+			name: "later shallower endpoint wins strictly",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 7},
+				{ID: "b", ModelState: "queued", Depth: 6},
+				{ID: "c", ModelState: "starting", Depth: 6},
+			},
+			wantIdx: 1,
+		},
+		{
+			name: "cold endpoint depth is ignored",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", Depth: 0, FreeGPUs: 64, NeededGPUs: 8},
+				{ID: "b", ModelState: "running", Depth: 1000},
+			},
+			wantIdx: 1,
+		},
+		{
+			name: "mixed active states tie on depth",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "queued", Depth: 3},
+				{ID: "b", ModelState: "running", Depth: 3},
+			},
+			wantIdx: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			idx, reason, err := Select(c.candidates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != c.wantIdx || reason != ReasonActive {
+				t.Errorf("Select = (%d, %s), want (%d, %s)", idx, reason, c.wantIdx, ReasonActive)
+			}
+		})
+	}
+}
+
+// TestSelectStableUnderCopies is the property test: Select is a pure
+// function of the candidate values — a deep copy of the slice yields the
+// same decision, and the input is never mutated. The DES federation model
+// snapshots candidates into a reused scratch slice, so both properties are
+// load-bearing.
+func TestSelectStableUnderCopies(t *testing.T) {
+	states := []string{"running", "starting", "queued", "cold"}
+	rng := rand.New(rand.NewSource(20251015))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(8)
+		candidates := make([]EndpointInfo, n)
+		for i := range candidates {
+			candidates[i] = EndpointInfo{
+				ID:         fmt.Sprintf("ep-%d", i),
+				ModelState: states[rng.Intn(len(states))],
+				FreeGPUs:   rng.Intn(16),
+				NeededGPUs: rng.Intn(9),
+				Depth:      rng.Intn(4),
+			}
+		}
+		orig := append([]EndpointInfo(nil), candidates...)
+		idx1, reason1, err1 := Select(candidates)
+		if !reflect.DeepEqual(candidates, orig) {
+			t.Fatalf("trial %d: Select mutated its input:\nbefore %+v\nafter  %+v", trial, orig, candidates)
+		}
+		clone := append([]EndpointInfo(nil), candidates...)
+		idx2, reason2, err2 := Select(clone)
+		if idx1 != idx2 || reason1 != reason2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: decision unstable under slice copy: (%d,%s,%v) vs (%d,%s,%v) on %+v",
+				trial, idx1, reason1, err1, idx2, reason2, err2, candidates)
+		}
+		if idx1 < 0 || idx1 >= n {
+			t.Fatalf("trial %d: index %d out of range [0,%d)", trial, idx1, n)
+		}
 	}
 }
 

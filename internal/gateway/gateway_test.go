@@ -163,6 +163,17 @@ func TestMetricsAndDashboardEndpoints(t *testing.T) {
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "first_http_requests_total") {
 		t.Errorf("metrics endpoint: %d %q", rec.Code, rec.Body.String()[:80])
 	}
+	// The token cache's singleflight stats are exposed as gauges (ROADMAP:
+	// herd suppression must be visible on the dashboard). One authenticated
+	// request has happened, so the cache holds ≥1 entry and saw ≥1 miss.
+	for _, name := range []string{
+		"first_auth_cache_entries", "first_auth_cache_coalesced",
+		"first_auth_cache_hits", "first_auth_cache_misses",
+	} {
+		if !strings.Contains(rec.Body.String(), name+" ") {
+			t.Errorf("metrics endpoint missing %s", name)
+		}
+	}
 	rec = doRaw(t, sys, "GET", "/dashboard", "", "")
 	if rec.Code != 200 {
 		t.Fatalf("dashboard code %d", rec.Code)
@@ -176,6 +187,13 @@ func TestMetricsAndDashboardEndpoints(t *testing.T) {
 	}
 	if len(d.Models) == 0 {
 		t.Error("dashboard missing model statuses")
+	}
+	if d.Metrics.Gauges["auth_cache_entries"] < 1 {
+		t.Errorf("dashboard auth_cache_entries = %d, want ≥ 1 after an authed request",
+			d.Metrics.Gauges["auth_cache_entries"])
+	}
+	if d.Metrics.Gauges["auth_cache_misses"] < 1 {
+		t.Errorf("dashboard auth_cache_misses = %d, want ≥ 1", d.Metrics.Gauges["auth_cache_misses"])
 	}
 }
 

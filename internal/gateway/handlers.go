@@ -443,8 +443,21 @@ func (s *Server) handleCancelBatch(w http.ResponseWriter, r *http.Request, who a
 	s.writeJSON(w, http.StatusOK, batchToObject(b))
 }
 
+// refreshAuthMetrics copies the token cache's internal stats into registry
+// gauges so the dashboard can show herd suppression (singleflight
+// coalescing) and cache population under storms. Pull-on-read keeps the
+// cache's hot Introspect path free of registry traffic.
+func (s *Server) refreshAuthMetrics() {
+	hits, misses := s.tokens.Stats()
+	s.met.Gauge("auth_cache_hits").Set(hits)
+	s.met.Gauge("auth_cache_misses").Set(misses)
+	s.met.Gauge("auth_cache_coalesced").Set(s.tokens.Coalesced())
+	s.met.Gauge("auth_cache_entries").Set(int64(s.tokens.Len()))
+}
+
 // handleMetrics serves GET /metrics (Prometheus-style text).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshAuthMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, s.met.Expose())
@@ -460,6 +473,7 @@ type Dashboard struct {
 
 // handleDashboard serves GET /dashboard.
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	s.refreshAuthMetrics()
 	d := Dashboard{
 		GeneratedAt: s.clk.Now(),
 		Totals:      s.st.Totals(),

@@ -123,6 +123,12 @@ type Config struct {
 	// Backfill lets later queued jobs start when the head job cannot fit
 	// but they can (conservative backfill without reservations).
 	Backfill bool
+	// Timer, when set, schedules the scheduler's delayed transitions
+	// (prologue completion, walltime expiry) instead of the default
+	// goroutine-sleeping-on-the-clock. The DES harness points it at the
+	// event kernel so the real scheduler lifecycle runs deterministically
+	// on virtual time; live deployments leave it nil.
+	Timer func(d time.Duration, fn func())
 }
 
 // Scheduler binds a job queue to a cluster.
@@ -281,8 +287,7 @@ func (s *Scheduler) trySchedule() {
 
 // launch runs the Starting→Running transition and arms the walltime timer.
 func (s *Scheduler) launch(job *Job, gen uint64) {
-	go func() {
-		s.clk.Sleep(s.cfg.Prologue)
+	s.after(s.cfg.Prologue, func() {
 		job.mu.Lock()
 		if job.gen != gen || job.state != Starting {
 			job.mu.Unlock()
@@ -294,16 +299,28 @@ func (s *Scheduler) launch(job *Job, gen uint64) {
 			job.Spec.OnRunning(job)
 		}
 		if job.Spec.Walltime > 0 {
-			go func() {
-				s.clk.Sleep(job.Spec.Walltime)
+			s.after(job.Spec.Walltime, func() {
 				job.mu.Lock()
 				stale := job.gen != gen || job.state != Running
 				job.mu.Unlock()
 				if !stale {
 					s.finish(job.ID, TimedOut)
 				}
-			}()
+			})
 		}
+	})
+}
+
+// after defers fn by d through the configured Timer (deterministic,
+// DES-driven) or, by default, a goroutine sleeping on the clock.
+func (s *Scheduler) after(d time.Duration, fn func()) {
+	if s.cfg.Timer != nil {
+		s.cfg.Timer(d, fn)
+		return
+	}
+	go func() {
+		s.clk.Sleep(d)
+		fn()
 	}()
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/argonne-first/first/internal/clock"
 	"github.com/argonne-first/first/internal/cluster"
 	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/sim"
 )
 
 func newTestScheduler(t *testing.T, nodes, gpus int, cfg Config) (*Scheduler, *cluster.Cluster) {
@@ -225,5 +226,80 @@ func TestStateStrings(t *testing.T) {
 	}
 	if !Completed.Terminal() || !Failed.Terminal() {
 		t.Error("terminal states misreported")
+	}
+}
+
+// kernelTestClock mirrors the DES harness's kernel-backed clock: Now reads
+// virtual time; the scheduler must never Sleep when a Timer is configured.
+type kernelTestClock struct{ k *sim.Kernel }
+
+func (c kernelTestClock) Now() time.Time                  { return time.Unix(0, 0).UTC().Add(c.k.Now()) }
+func (c kernelTestClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c kernelTestClock) Sleep(time.Duration)             { panic("Sleep with Timer configured") }
+func (c kernelTestClock) After(time.Duration) <-chan time.Time {
+	panic("After with Timer configured")
+}
+
+// TestDeterministicTimerLifecycle drives the full Queued→Starting→Running→
+// TimedOut lifecycle on a DES kernel through Config.Timer: every transition
+// lands at an exact virtual time, with no goroutines and no polling.
+func TestDeterministicTimerLifecycle(t *testing.T) {
+	k := sim.NewKernel()
+	cl := cluster.New("des", 1, 8, perfmodel.A100_40)
+	s := New(cl, kernelTestClock{k}, Config{
+		Prologue: 30 * time.Second,
+		Timer:    k.Schedule,
+	})
+	var runningAt, endAt time.Duration
+	var endState State
+	job, err := s.Submit(JobSpec{
+		Name: "serve", User: "des", GPUs: 8,
+		Walltime:  2 * time.Minute,
+		OnRunning: func(*Job) { runningAt = k.Now() },
+		OnEnd:     func(_ *Job, st State) { endAt, endState = k.Now(), st },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != Starting {
+		t.Fatalf("job state after submit = %v, want Starting (placed synchronously)", job.State())
+	}
+	k.Run(0)
+	if runningAt != 30*time.Second {
+		t.Errorf("Running at %v, want exactly 30s (prologue)", runningAt)
+	}
+	if endState != TimedOut || endAt != 150*time.Second {
+		t.Errorf("end = %v at %v, want TimedOut at exactly 150s", endState, endAt)
+	}
+	if job.QueueWait() != 0 {
+		t.Errorf("queue wait = %v, want 0", job.QueueWait())
+	}
+	if cl.Status().FreeGPUs != 8 {
+		t.Errorf("GPUs not released after timeout: %d free", cl.Status().FreeGPUs)
+	}
+}
+
+// TestDeterministicTimerCompleteBeatsWalltime completes a job before its
+// walltime on the kernel: the stale walltime timer must not re-finish it.
+func TestDeterministicTimerCompleteBeatsWalltime(t *testing.T) {
+	k := sim.NewKernel()
+	cl := cluster.New("des", 1, 8, perfmodel.A100_40)
+	s := New(cl, kernelTestClock{k}, Config{Prologue: 10 * time.Second, Timer: k.Schedule})
+	ends := 0
+	job, err := s.Submit(JobSpec{
+		Name: "serve", GPUs: 4,
+		Walltime: time.Minute,
+		OnEnd:    func(*Job, State) { ends++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(30*time.Second, func() { s.Complete(job.ID) })
+	k.Run(0)
+	if job.State() != Completed {
+		t.Errorf("state = %v, want Completed", job.State())
+	}
+	if ends != 1 {
+		t.Errorf("OnEnd fired %d times, want once (walltime timer must go stale)", ends)
 	}
 }

@@ -443,6 +443,26 @@ func (e *Engine) admit() int {
 	return admittedPrefill
 }
 
+// EachRunning calls f for every sequence currently in the running batch, in
+// admission order. The callback must not mutate engine state; drivers use it
+// to identify work lost when an instance's walltime hard-kills it mid-batch.
+func (e *Engine) EachRunning(f func(*Sequence)) {
+	for _, s := range e.running {
+		f(s)
+	}
+}
+
+// EachWaiting calls f for every live (non-tombstoned) waiting sequence in
+// queue order. The callback must not mutate engine state; drivers that need
+// to abort entries collect IDs first and call Abort afterwards.
+func (e *Engine) EachWaiting(f func(*Sequence)) {
+	for i := 0; i < e.waiting.len(); i++ {
+		if s := e.waiting.at(i); !s.aborted {
+			f(s)
+		}
+	}
+}
+
 // Abort removes a waiting sequence (e.g. client disconnect). It returns true
 // if the sequence was found in the waiting queue; running sequences cannot
 // be aborted mid-iteration. Because sequence IDs increase monotonically in

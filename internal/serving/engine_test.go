@@ -2,6 +2,7 @@ package serving
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -454,5 +455,43 @@ func TestEngineChurnZeroAlloc(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(100, churn); allocs != 0 {
 		t.Errorf("steady-state submit/step/release allocs = %v, want 0", allocs)
+	}
+}
+
+// TestEngineEachRunningEachWaiting pins the iterator contracts drivers rely
+// on for drain/kill migration: running in admission order, waiting in queue
+// order with tombstones skipped, and both consistent with Depth.
+func TestEngineEachRunningEachWaiting(t *testing.T) {
+	eng := newTestEngine(t, perfmodel.Llama8B, 2)
+	var seqs []*Sequence
+	for i := 0; i < 5; i++ {
+		seqs = append(seqs, eng.Submit(0, 10, 50, i))
+	}
+	eng.Step(0) // admits 2 (maxBatch), leaves 3 waiting
+
+	var running, waiting []int
+	eng.EachRunning(func(s *Sequence) { running = append(running, s.Ctx.(int)) })
+	eng.EachWaiting(func(s *Sequence) { waiting = append(waiting, s.Ctx.(int)) })
+	if want := []int{0, 1}; !reflect.DeepEqual(running, want) {
+		t.Errorf("running = %v, want %v", running, want)
+	}
+	if want := []int{2, 3, 4}; !reflect.DeepEqual(waiting, want) {
+		t.Errorf("waiting = %v, want %v", waiting, want)
+	}
+	if len(running)+len(waiting) != eng.Depth() {
+		t.Errorf("iterators saw %d sequences, Depth = %d", len(running)+len(waiting), eng.Depth())
+	}
+
+	// Tombstoned entries disappear from EachWaiting immediately.
+	if !eng.Abort(seqs[3].ID) {
+		t.Fatal("abort failed")
+	}
+	waiting = waiting[:0]
+	eng.EachWaiting(func(s *Sequence) { waiting = append(waiting, s.Ctx.(int)) })
+	if want := []int{2, 4}; !reflect.DeepEqual(waiting, want) {
+		t.Errorf("waiting after abort = %v, want %v", waiting, want)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }

@@ -82,6 +82,17 @@ func WebUI() LengthSpec {
 	}
 }
 
+// FederateOpen is the open-loop federation workload: short scientific
+// queries (classification, extraction, quick Q&A) sized so a million-request
+// trace stays tractable while still exercising continuous batching.
+func FederateOpen() LengthSpec {
+	return LengthSpec{
+		PromptMean: 64, PromptCV: 0.8,
+		OutputMean: 32, OutputCV: 0.7,
+		MaxPrompt: 512, MaxOutput: 256,
+	}
+}
+
 func (s LengthSpec) maxPrompt() int {
 	if s.MaxPrompt > 0 {
 		return s.MaxPrompt
