@@ -5,7 +5,7 @@ GO ?= go
 # (make fuzz FUZZTIME=60s).
 FUZZTIME ?= 3s
 
-.PHONY: all check fmt vet build test fuzz race bench bench-diff federate-night
+.PHONY: all check fmt vet build test fuzz race bench bench-diff federate-night autoscale-night
 
 all: check
 
@@ -54,3 +54,10 @@ bench-diff:
 # counts and queue kinds. Too slow for per-PR CI; the nightly job runs it.
 federate-night:
 	FIRST_FEDERATE_FULL=1 $(GO) test -run '^TestFederateFullScale$$' -v -timeout 30m ./internal/experiments
+
+# autoscale-night runs the full-scale auto-scaling determinism suite — the
+# complete diurnal/bursty family with every elasticity assertion,
+# byte-identical across worker counts and queue kinds. Per-PR CI keeps the
+# scaled-down family as the fast guard; the nightly job runs this one.
+autoscale-night:
+	FIRST_AUTOSCALE_FULL=1 $(GO) test -run '^TestAutoScaleFullScale$$' -v -timeout 30m ./internal/experiments

@@ -181,6 +181,28 @@ func BenchmarkFederate(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoScale regenerates the Fig4-style auto-scaling family:
+// diurnal and bursty demand shifting between models across 2-8 clusters,
+// with per-cluster instance pools growing through the real scheduler
+// cold-start path and draining back down behind each wave.
+func BenchmarkAutoScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunAutoScale(experiments.DefaultSeed)
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Shape == "diurnal" && r.Clusters == 4 {
+					b.ReportMetric(r.M.ReqPerSec, "diurnal_c4_req/s")
+					b.ReportMetric(float64(r.ScaleUps), "diurnal_c4_scale_ups")
+					b.ReportMetric(float64(r.ScaleDowns), "diurnal_c4_scale_downs")
+				}
+				if r.Shape == "bursty" && r.Clusters == 4 {
+					b.ReportMetric(r.M.ReqPerSec, "bursty_c4_req/s")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkEngineStep measures the raw cost of one continuous-batching
 // iteration of the engine state machine (substrate micro-benchmark).
 func BenchmarkEngineStep(b *testing.B) {

@@ -84,6 +84,46 @@
 // in the nightly CI job (make federate-night), with a scaled-down family
 // guarding every PR.
 //
+// # Auto-scaling inside a federated cluster
+//
+// Each (cluster, model) deployment in the DES federation is a pool of
+// 1..MaxInstances engine incarnations (desmodel.AutoScaleParams; the zero
+// value pins pools at one instance, the pre-autoscaler behaviour). A
+// per-cluster policy tick — one deterministic kernel event per Interval —
+// evaluates every pool against two watermarks on queue depth per live
+// instance: sustained depth above HiWater (HiSustain consecutive ticks)
+// grows the pool, with every growth step paying the scheduler's real
+// Queued→Starting→Running cold-start path and competing with background
+// science jobs for GPUs; sustained depth below LoWater (LoSustain ticks)
+// shrinks it, preferring to cancel an incarnation still waiting in the
+// scheduler queue (free) and otherwise draining the emptiest serving
+// instance through the same drain/migrate machinery walltime churn uses.
+// Growth decisions at the MaxInstances cap are counted as refused. The
+// defaults (DefaultAutoScaleParams) are 10 s ticks, HiWater 16, LoWater 2,
+// sustain 2/4, cap 4. Three liveness rules are load-bearing, found by the
+// randomized property sweep: LoWater is clamped to HiWater/2 (overlapping
+// bands let a scale-up immediately satisfy the shrink condition and the
+// pool oscillates forever, cancelling every incarnation before its prologue
+// completes), a pool with parked demand never shrinks, and a scale-down
+// never targets the pool's only live instance. Routing is instance-aware:
+// federation.EndpointInfo carries the live instance count and Select
+// tie-breaks active endpoints on depth per instance (cross-multiplied, so
+// ties stay exact), while inside a pool requests go to the least-loaded
+// serving instance — both hot paths pinned at 0 allocs/op (scaler_tick /
+// scaler_pick in the BENCH record, plus AllocsPerRun tests).
+//
+// The autoscale scenario family (first-bench -exp autoscale) is Fig4 beyond
+// paper size: open-loop traces whose offered rate and hot model are
+// functions of virtual time — "diurnal" swings the rate sinusoidally while
+// the hot model rotates each period, "bursty" fires a 4× square-wave burst
+// each period — over 2-8 clusters, forcing pools to grow under each wave
+// and drain behind it while walltime churn and the priority ladder keep
+// firing. The report shows scale-up/scale-down/refused counts, peak
+// instances, cold starts, drains, kills, migrations, and utilization; a
+// differential suite pins the family byte-identical across fleet worker
+// counts and calendar/heap kernels (scaled-down family per PR, full family
+// nightly via make autoscale-night).
+//
 // Experiments fan out: internal/experiments.Fleet runs the independent
 // cells of each figure/table (rate points, concurrency×window cells,
 // ablation arms) on parallel goroutines. Every cell owns a private kernel

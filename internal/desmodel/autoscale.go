@@ -1,0 +1,271 @@
+package desmodel
+
+import (
+	"time"
+
+	"github.com/argonne-first/first/internal/scheduler"
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// AutoScaleParams tune the Fig4-style auto-scaler: each (cluster, model)
+// deployment is a pool of 1..MaxInstances engine incarnations, grown when
+// sustained backlog exceeds a high-water mark and shrunk when the pool sits
+// under a low-water mark — every growth step paying the scheduler's real
+// Queued→Starting→Running cold-start path, every shrink step reusing the
+// drain/migrate machinery (or cancelling an incarnation still queued at the
+// scheduler, which is free).
+//
+// The watermarks are queue depth per live instance — the aggregate
+// utilization proxy the routing layer already exposes: an instance pool with
+// depth below LoWater×instances is mostly idle, one above HiWater×instances
+// is falling behind. Both directions require the condition to hold for a
+// sustained window (HiSustain/LoSustain consecutive Interval ticks) so a
+// single bursty interval cannot thrash the pool.
+type AutoScaleParams struct {
+	// MaxInstances caps the pool (counting queued, loading, serving, and
+	// draining incarnations). ≤ 1 disables the scaler: pools are pinned at
+	// one demand-driven instance, the pre-autoscaler behaviour.
+	MaxInstances int
+	// Interval is the policy evaluation cadence (one deterministic kernel
+	// event per cluster per interval).
+	Interval time.Duration
+	// HiWater is the queue depth per live instance above which the pool is
+	// falling behind; LoWater the depth below which it is underused.
+	// withDefaults clamps LoWater to HiWater/2: with the bands overlapping,
+	// a scale-up's depth (> HiWater×live) could immediately satisfy the
+	// scale-down condition at live+1 and the pool would oscillate forever,
+	// cancelling every incarnation before its prologue completes — a
+	// livelock the randomized property sweep actually caught.
+	HiWater float64
+	LoWater float64
+	// HiSustain / LoSustain are how many consecutive ticks the condition
+	// must hold before the scaler acts.
+	HiSustain int
+	LoSustain int
+}
+
+// DefaultAutoScaleParams are the autoscale experiment family's knobs: grow
+// past 16 queued per instance held for 2 ticks, shrink under 2 per instance
+// held for 4 ticks, evaluated every 10 s, up to 4 instances per model.
+func DefaultAutoScaleParams() AutoScaleParams {
+	return AutoScaleParams{
+		MaxInstances: 4,
+		Interval:     10 * time.Second,
+		HiWater:      16,
+		LoWater:      2,
+		HiSustain:    2,
+		LoSustain:    4,
+	}
+}
+
+// withDefaults normalizes the policy: a zero value stays disabled
+// (MaxInstances 1); an enabled scaler gets the default cadence and
+// watermarks for any knob left unset.
+func (s AutoScaleParams) withDefaults() AutoScaleParams {
+	if s.MaxInstances <= 1 {
+		s.MaxInstances = 1
+		return s
+	}
+	d := DefaultAutoScaleParams()
+	if s.Interval <= 0 {
+		s.Interval = d.Interval
+	}
+	if s.HiWater <= 0 {
+		s.HiWater = d.HiWater
+	}
+	if s.LoWater <= 0 {
+		s.LoWater = d.LoWater
+	}
+	// Non-overlapping bands: scale-up lifts depth-per-instance from just
+	// above HiWater at live to HiWater×(live-1)/live ≥ HiWater/2 at live+1,
+	// so LoWater ≤ HiWater/2 guarantees a growth step can never satisfy the
+	// shrink condition on the next tick.
+	if s.LoWater > s.HiWater/2 {
+		s.LoWater = s.HiWater / 2
+	}
+	if s.HiSustain <= 0 {
+		s.HiSustain = d.HiSustain
+	}
+	if s.LoSustain <= 0 {
+		s.LoSustain = d.LoSustain
+	}
+	return s
+}
+
+// armScaler starts the cluster's periodic scale evaluation: one event per
+// Interval visiting every deployment pool in slice order (deterministic,
+// allocation-free at steady state). Like the background-job loop it
+// self-schedules forever; drivers bound runs with Stop or Run(until).
+func (c *fedCluster) armScaler() {
+	interval := c.f.p.Scale.Interval
+	var tick func()
+	tick = func() {
+		for _, d := range c.deps {
+			d.scaleTick()
+		}
+		c.f.k.Schedule(interval, tick)
+	}
+	c.f.k.Schedule(interval, tick)
+}
+
+// liveCount is the pool's accepting-traffic membership: queued, loading, or
+// serving incarnations. Draining ones are on their way out.
+func (d *fedDep) liveCount() int {
+	n := 0
+	for _, in := range d.insts {
+		if in.state != instDraining {
+			n++
+		}
+	}
+	return n
+}
+
+// servingCount counts instances actually accepting work — the capacity the
+// routing layer may advertise (EndpointInfo.Instances): a queued or loading
+// incarnation is minutes of prologue+load away from helping, and counting
+// it would steer the ladder onto a still-backed-up pool.
+func (d *fedDep) servingCount() int {
+	n := 0
+	for _, in := range d.insts {
+		if in.state == instServing {
+			n++
+		}
+	}
+	return n
+}
+
+// pickServing returns the least-loaded serving instance (earliest pool
+// member wins ties), or nil when nothing serves. Allocation-free: this is
+// the per-request instance-selection hot path.
+func (d *fedDep) pickServing() *fedInstance {
+	var best *fedInstance
+	for _, in := range d.insts {
+		if in.state == instServing && (best == nil || in.eng.Depth() < best.eng.Depth()) {
+			best = in
+		}
+	}
+	return best
+}
+
+// notePool records pool growth against the per-dep and per-cluster peaks
+// (the property suite's [1, MaxInstances] bound and the report's
+// peak-instances column).
+func (d *fedDep) notePool() {
+	if n := len(d.insts); n > d.peakPool {
+		d.peakPool = n
+	}
+	total := 0
+	for _, dep := range d.c.deps {
+		total += len(dep.insts)
+	}
+	if total > d.c.peakInstances {
+		d.c.peakInstances = total
+	}
+}
+
+// scaleTick is one policy evaluation for this deployment pool. The decision
+// path is allocation-free; only an actual scale-up allocates (the new
+// incarnation and its scheduler job).
+func (d *fedDep) scaleTick() {
+	p := &d.f.p.Scale
+	live := d.liveCount()
+	if live == 0 {
+		// Nothing running and nothing on the way: demand-driven starts own
+		// this regime; the scaler only resets its hysteresis.
+		d.hiStreak, d.loStreak = 0, 0
+		return
+	}
+	depth := float64(d.depth())
+	if depth > p.HiWater*float64(live) {
+		d.loStreak = 0
+		if d.hiStreak++; d.hiStreak >= p.HiSustain {
+			d.hiStreak = 0
+			if len(d.insts) < p.MaxInstances {
+				d.c.scaleUps++
+				d.startInstance()
+			} else {
+				d.c.scaleRefused++
+			}
+		}
+		return
+	}
+	d.hiStreak = 0
+	if live > 1 && depth < p.LoWater*float64(live) {
+		if d.loStreak++; d.loStreak >= p.LoSustain {
+			if d.tryScaleDown() {
+				d.loStreak = 0
+			} else {
+				// No drainable candidate this tick (everything mid-load):
+				// stay armed and retry next interval.
+				d.loStreak = p.LoSustain
+			}
+		}
+	} else {
+		d.loStreak = 0
+	}
+}
+
+// tryScaleDown shrinks the pool by one: it cancels an incarnation still
+// queued at the scheduler when one exists (free — no GPUs held, no work
+// placed), otherwise drains the emptiest serving instance through the
+// regular drain/migrate machinery. It never targets the pool's only live
+// instance — a model with waiting work keeps at least one incarnation.
+func (d *fedDep) tryScaleDown() bool {
+	if d.liveCount() <= 1 {
+		return false
+	}
+	if len(d.pending) > 0 {
+		// Parked demand means nothing serves yet: shrinking now would only
+		// delay the incarnation that will absorb it.
+		return false
+	}
+	for _, in := range d.insts {
+		if in.state == instQueued && in.job.State() == scheduler.Queued {
+			// Only jobs still waiting in the scheduler queue are cancelled;
+			// one that reached Starting holds its allocation and is about to
+			// serve — killing it would forfeit the prologue already paid
+			// (and, under a thrashing config, could starve the model).
+			d.c.scaleDowns++
+			// Cancel ends the job synchronously: onJobEnd detaches the
+			// incarnation before this returns.
+			d.c.sched.Cancel(in.job.ID)
+			return true
+		}
+	}
+	var victim *fedInstance
+	for _, in := range d.insts {
+		if in.state == instServing && (victim == nil || in.eng.Depth() < victim.eng.Depth()) {
+			victim = in
+		}
+	}
+	if victim == nil {
+		return false // every live instance is still loading; retry next tick
+	}
+	victim.beginDrain(victim.job, true)
+	return true
+}
+
+// ScalerMicro builds a steady-state deployment (one serving instance, queue
+// depth pinned between the watermarks so ticks decide but never act) and
+// returns the scaler's two hot-path operations — one policy evaluation and
+// one instance selection — for the substrate micro-benchmark record.
+// first-bench emits them into BENCH_<n>.json as scaler_tick / scaler_pick,
+// where `make bench-diff` pins both at 0 allocs/op.
+func ScalerMicro() (tick, pick func()) {
+	k := sim.NewKernel()
+	p := FederationParams{
+		Clusters:      1,
+		ServeWalltime: 1e6 * time.Second, // no walltime churn while measuring
+		Scale:         AutoScaleParams{MaxInstances: 4},
+	}
+	f := NewFederation(k, p, nil)
+	// Eight requests with effectively endless generation: depth holds at 8,
+	// between LoWater (2) and HiWater (16), so every tick takes the
+	// no-action decision path.
+	for i := 0; i < 8; i++ {
+		f.Arrive(&Req{ID: i + 1, Model: 0, PromptTok: 64, OutputTok: 1 << 20})
+	}
+	k.Run(10 * time.Minute) // past prologue + weights load; batch decoding
+	d := f.clusters[0].deps[0]
+	return d.scaleTick, func() { d.pickServing() }
+}

@@ -61,13 +61,18 @@ type FederationParams struct {
 	// Prologue is the scheduler's Starting phase (node boot, container
 	// start) for every job, serving and background alike.
 	Prologue time.Duration
-	// ServeWalltime is how long a serving deployment runs after weights are
+	// ServeWalltime is how long a serving instance runs after weights are
 	// loaded before it drains (endpoint walltime churn). The scheduler job's
 	// walltime is load + ServeWalltime + DrainGrace: if the running batch
 	// has not drained within the grace, the real walltime timer hard-kills
 	// the job mid-batch and the survivors migrate.
 	ServeWalltime time.Duration
 	DrainGrace    time.Duration
+
+	// Scale is the Fig4-style auto-scaling policy growing and shrinking each
+	// deployment's instance pool with demand. The zero value (MaxInstances
+	// ≤ 1) pins every pool at one instance — the pre-autoscaler behaviour.
+	Scale AutoScaleParams
 
 	// Background science jobs compete with serving jobs for GPUs: each
 	// cluster submits one every BGPeriod (offset by BGStagger×cluster) that
@@ -94,6 +99,7 @@ func DefaultFederationModels() []perfmodel.ModelSpec {
 // more, so no cluster can host everything and the priority ladder's capacity
 // and first-configured rungs genuinely fire), 10-minute serving walltimes
 // with 2-minute drain grace, and background churn on a ~7.5-minute cadence.
+// Auto-scaling is off (MaxInstances 1); scenarios opt in via Scale.
 func DefaultFederationParams(clusters int) FederationParams {
 	return FederationParams{
 		Clusters:        clusters,
@@ -129,6 +135,20 @@ type FedClusterStats struct {
 	ColdStarts int   // serving jobs submitted (Queued→Starting→Running)
 	Drains     int   // graceful walltime drains
 	HardKills  int   // walltime expiries that killed a live batch
+	// LiveInstances counts pool members still holding a place at snapshot
+	// time (queued, loading, or serving). A draining incarnation is on its
+	// way out and is deliberately not live: the mid-drain end-of-run path
+	// must not leak it into the final instance accounting.
+	LiveInstances int
+	// PeakInstances is the deepest the cluster's pools ever grew (summed
+	// over models, draining included while the incarnation held GPUs).
+	PeakInstances int
+	// ScaleUps / ScaleDowns count auto-scaler pool growth and policy-driven
+	// shrink actions (early drains or queued-job cancels); ScaleRefused
+	// counts scale-up decisions refused at the MaxInstances cap.
+	ScaleUps     int
+	ScaleDowns   int
+	ScaleRefused int
 	// BusyGPUSeconds is Σ engine busy time × GPUs over all incarnations
 	// (utilization numerator; divide by total GPUs × horizon).
 	BusyGPUSeconds float64
@@ -139,32 +159,48 @@ type FedClusterStats struct {
 	SchedQueuedPeak int
 }
 
-// depState is a deployment's lifecycle position on one cluster.
-type depState uint8
+// instState is one instance incarnation's lifecycle position.
+type instState uint8
 
 const (
-	depCold depState = iota
-	depQueued
-	depLoading
-	depServing
-	depDraining
+	instQueued   instState = iota // job submitted, waiting for nodes/prologue
+	instLoading                   // nodes granted, weights loading
+	instServing                   // accepting and serving traffic
+	instDraining                  // no new work; running batch finishing
+	instDead                      // terminal; detached from the pool
 )
 
-// fedDep is one (cluster, model) deployment slot.
+// fedInstance is one engine incarnation inside a deployment's pool: its own
+// scheduler job (paying the real Queued→Starting→Running cold-start path),
+// its own serve-walltime drain, and — when the auto-scaler shrinks the pool —
+// a policy-driven early drain through the same machinery.
+type fedInstance struct {
+	d *fedDep
+
+	state     instState
+	job       *scheduler.Job
+	eng       *EngineSim
+	drainDone bool // a zero-delay drain-completion event is queued
+}
+
+// fedDep is one (cluster, model) deployment: a pool of 1..MaxInstances
+// engine incarnations plus the requests parked while none of them serves.
 type fedDep struct {
 	f     *Federation
 	c     *fedCluster
 	model int
 
-	state     depState
-	job       *scheduler.Job
-	eng       *EngineSim
-	pending   []*Req // parked until the deployment serves
-	drainDone bool   // a zero-delay drain-completion event is queued
+	insts   []*fedInstance // pool members (dead incarnations are removed)
+	pending []*Req         // parked until an instance serves
+
+	// Auto-scaler hysteresis state (see autoscale.go).
+	hiStreak int
+	loStreak int
+	peakPool int
 }
 
 // fedCluster is one simulated cluster: real inventory, real scheduler, one
-// deployment slot per model.
+// deployment pool per model.
 type fedCluster struct {
 	f     *Federation
 	idx   int
@@ -175,14 +211,19 @@ type fedCluster struct {
 	routed, served     int64
 	coldStarts, drains int
 	hardKills          int
+	scaleUps           int
+	scaleDowns         int
+	scaleRefused       int
+	peakInstances      int
 	busyGPU            time.Duration
 	queuedPeak         int
 }
 
 // Federation is the multi-cluster DES scenario: the sharded gateway
 // front-end in front of N cluster+scheduler instances, every request routed
-// by the real federation.Select over live snapshots, with deployments
-// churning through the full Queued→Starting→Running→drain/kill lifecycle.
+// by the real federation.Select over live snapshots, with deployment pools
+// churning through the full Queued→Starting→Running→drain/kill lifecycle and
+// the auto-scaler growing and shrinking them with demand.
 type Federation struct {
 	k *sim.Kernel
 	p FederationParams
@@ -200,6 +241,11 @@ type Federation struct {
 
 	rungs      FedRungs
 	migrations int64
+	// arrivals/completions are the conservation counters the property suite
+	// checks: every request that arrives completes exactly once, across any
+	// number of drains, kills, cancels, and scale-downs.
+	arrivals    int64
+	completions int64
 }
 
 func (p FederationParams) withDefaults() FederationParams {
@@ -252,6 +298,7 @@ func (p FederationParams) withDefaults() FederationParams {
 	if p.DrainGrace <= 0 {
 		p.DrainGrace = d.DrainGrace
 	}
+	p.Scale = p.Scale.withDefaults()
 	return p
 }
 
@@ -265,7 +312,8 @@ func NewFederation(k *sim.Kernel, p FederationParams, done func(*Req)) *Federati
 
 // NewFederationIn builds the scenario drawing kernel and engines from an
 // experiment-fleet arena. Engines are borrowed per deployment incarnation
-// and reclaimed (reset) at the next cell.
+// and reclaimed (reset) at the next cell — or mid-cell, when an incarnation
+// dies and the pool recycles its engine for the next cold start.
 func NewFederationIn(a *Arena, p FederationParams, done func(*Req)) *Federation {
 	p = p.withDefaults()
 	f := newFederation(a.k, p, func(m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
@@ -306,6 +354,12 @@ func newFederation(k *sim.Kernel, p FederationParams, newEngine func(perfmodel.M
 			}
 			k.Schedule(p.BGStagger*time.Duration(i)+p.BGPeriod/2, bg)
 		}
+		if p.Scale.MaxInstances > 1 {
+			// The scaler ticks per cluster, evaluating every deployment pool
+			// in slice order — one deterministic event per interval. Like the
+			// background jobs it self-schedules forever.
+			c.armScaler()
+		}
 	}
 	return f
 }
@@ -336,6 +390,7 @@ func (c *fedCluster) noteQueued() {
 // decision.
 func (f *Federation) Arrive(r *Req) {
 	r.ArrivalAt = f.k.Now()
+	f.arrivals++
 	f.fe.admit(uint64(r.ID), func() {
 		r.GatewayAt = f.k.Now()
 		f.k.Schedule(f.p.PostWork, func() { f.route(r) })
@@ -358,6 +413,7 @@ func (f *Federation) route(r *Req) {
 			FreeGPUs:   c.cl.Status().FreeGPUs,
 			NeededGPUs: spec.TensorParallel,
 			Depth:      d.depth(),
+			Instances:  d.servingCount(),
 		})
 	}
 	f.scratch = infos[:0]
@@ -385,218 +441,267 @@ func (f *Federation) migrate(r *Req) {
 	f.route(r)
 }
 
-// modelState maps the deployment lifecycle onto the paper's §4.3 states.
-// Draining deployments report cold: they must not attract new work, and
-// their held GPUs keep the capacity rung honest.
+// modelState aggregates the pool's lifecycle onto the paper's §4.3 states:
+// serving anywhere beats loading beats queued. Draining instances report
+// nothing — they must not attract new work, and their held GPUs keep the
+// capacity rung honest.
 func (d *fedDep) modelState() string {
-	switch d.state {
-	case depQueued:
-		if d.job != nil && d.job.State() == scheduler.Starting {
+	anyLoading, anyQueued := false, false
+	var queued *fedInstance
+	for _, in := range d.insts {
+		switch in.state {
+		case instServing:
+			return "running"
+		case instLoading:
+			anyLoading = true
+		case instQueued:
+			if !anyQueued {
+				queued = in
+			}
+			anyQueued = true
+		}
+	}
+	if anyLoading {
+		return "starting"
+	}
+	if anyQueued {
+		if queued.job != nil && queued.job.State() == scheduler.Starting {
 			return "starting"
 		}
 		return "queued"
-	case depLoading:
-		return "starting"
-	case depServing:
-		return "running"
-	default:
-		return "cold"
 	}
+	return "cold"
 }
 
-// depth is the deployment's total queue depth (federation tie-break input).
+// depth is the deployment's total queue depth (federation tie-break input):
+// parked requests plus the waiting+running load of every instance still
+// accepting work. Draining incarnations are excluded — their remaining batch
+// occupies no capacity a new request could wait for.
 func (d *fedDep) depth() int {
 	n := len(d.pending)
-	if d.eng != nil {
-		n += d.eng.Depth()
+	for _, in := range d.insts {
+		if in.state == instServing {
+			n += in.eng.Depth()
+		}
 	}
 	return n
 }
 
-// offer delivers a routed request: straight into the engine when serving,
-// parked (and cold-starting the deployment if needed) otherwise.
+// offer delivers a routed request: straight into the least-loaded serving
+// instance when one exists, parked (cold-starting the pool's first instance
+// if it is empty) otherwise.
 func (d *fedDep) offer(r *Req) {
-	if d.state == depServing {
+	if in := d.pickServing(); in != nil {
 		r.EngineAt = d.f.k.Now()
-		d.eng.Submit(r.PromptTok, r.OutputTok, r)
+		in.eng.Submit(r.PromptTok, r.OutputTok, r)
 		return
 	}
 	d.pending = append(d.pending, r)
-	if d.state == depCold {
-		d.start()
+	if len(d.insts) == 0 {
+		d.startInstance()
 	}
 }
 
-// start submits the serving job: the deployment enters the scheduler's real
-// Queued→Starting→Running lifecycle, competing with background jobs.
-func (d *fedDep) start() {
+// startInstance submits one serving job: the incarnation enters the
+// scheduler's real Queued→Starting→Running lifecycle, competing with
+// background jobs. Both the demand-driven first instance and every
+// auto-scaler growth step pay this same cold-start path.
+func (d *fedDep) startInstance() {
 	f := d.f
 	spec := f.p.Models[d.model]
 	load := spec.LoadTime(f.p.GPU)
-	d.state = depQueued
+	in := &fedInstance{d: d, state: instQueued}
+	d.insts = append(d.insts, in)
 	d.c.coldStarts++
+	d.notePool()
 	job, err := d.c.sched.Submit(scheduler.JobSpec{
 		Name:      spec.Name,
 		User:      "first-serve",
 		GPUs:      spec.TensorParallel,
 		Walltime:  load + f.p.ServeWalltime + f.p.DrainGrace,
-		OnRunning: func(j *scheduler.Job) { d.onJobRunning(j, load) },
-		OnEnd:     func(j *scheduler.Job, st scheduler.State) { d.onJobEnd(j, st) },
+		OnRunning: func(j *scheduler.Job) { in.onJobRunning(j, load) },
+		OnEnd:     func(j *scheduler.Job, st scheduler.State) { in.onJobEnd(j, st) },
 	})
 	if err != nil {
 		panic(err) // unreachable: GPUs > 0 and the scheduler is never closed
 	}
-	d.job = job
+	in.job = job
 	d.c.noteQueued()
 }
 
 // onJobRunning fires when the scheduler grants nodes (Starting→Running):
 // the instance boots and loads weights before it can serve.
-func (d *fedDep) onJobRunning(j *scheduler.Job, load time.Duration) {
-	if d.job != j {
+func (in *fedInstance) onJobRunning(j *scheduler.Job, load time.Duration) {
+	if in.job != j || in.state != instQueued {
 		return
 	}
-	d.state = depLoading
-	d.f.k.Schedule(load, func() { d.onLoaded(j) })
+	in.state = instLoading
+	in.d.f.k.Schedule(load, func() { in.onLoaded(j) })
 }
 
-// onLoaded opens the deployment for traffic: the engine incarnation is
-// created, parked requests flush into it, and the serve-walltime drain is
-// armed.
-func (d *fedDep) onLoaded(j *scheduler.Job) {
-	if d.job != j || d.state != depLoading {
+// onLoaded opens the instance for traffic: the engine incarnation is
+// created, parked requests flush into the pool, and the serve-walltime drain
+// is armed.
+func (in *fedInstance) onLoaded(j *scheduler.Job) {
+	if in.job != j || in.state != instLoading {
 		return
 	}
+	d := in.d
 	f := d.f
 	spec := f.p.Models[d.model]
-	d.state = depServing
-	d.eng = f.newEngine(spec, func(seq *serving.Sequence) { d.onServed(j, seq) })
+	in.state = instServing
+	in.eng = f.newEngine(spec, func(seq *serving.Sequence) { in.onServed(j, seq) })
 	pend := d.pending
 	d.pending = nil
 	now := f.k.Now()
 	for _, r := range pend {
+		// Flush least-loaded across the pool: sibling instances may have
+		// come up at the same instant.
+		t := d.pickServing()
 		r.EngineAt = now
-		d.eng.Submit(r.PromptTok, r.OutputTok, r)
+		t.eng.Submit(r.PromptTok, r.OutputTok, r)
 	}
-	f.k.Schedule(f.p.ServeWalltime, func() { d.beginDrain(j) })
+	f.k.Schedule(f.p.ServeWalltime, func() { in.beginDrain(j, false) })
 }
 
 // onServed completes one request and, while draining, watches for the batch
-// to empty. The drain completion runs on a zero-delay event so every
-// completion delivered by the current engine iteration reaches the client
-// before the job is torn down.
-func (d *fedDep) onServed(j *scheduler.Job, seq *serving.Sequence) {
+// to empty.
+func (in *fedInstance) onServed(j *scheduler.Job, seq *serving.Sequence) {
 	r := seq.Ctx.(*Req)
+	d := in.d
 	now := d.f.k.Now()
 	r.CompletedAt = now
 	r.ObservedAt = now
 	d.c.served++
+	d.f.completions++
 	if d.f.done != nil {
 		d.f.done(r)
 	}
-	if d.state == depDraining && d.job == j {
-		d.maybeFinishDrain(j)
+	if in.state == instDraining && in.job == j {
+		in.maybeFinishDrain(j)
 	}
 }
 
-// maybeFinishDrain schedules the drain completion once the deployment has
+// maybeFinishDrain schedules the drain completion once the instance has
 // nothing live: no queued or running work and no in-flight delivery (a miss
 // on the latter would tear the job down with completions undelivered). Runs
 // on a zero-delay event so every completion delivered by the current engine
 // iteration reaches the client before the job is released.
-func (d *fedDep) maybeFinishDrain(j *scheduler.Job) {
-	if d.drainDone || d.eng.Depth() != 0 || d.eng.DeliveryPending() {
+func (in *fedInstance) maybeFinishDrain(j *scheduler.Job) {
+	if in.drainDone || in.eng.Depth() != 0 || in.eng.DeliveryPending() {
 		return
 	}
-	d.drainDone = true
-	d.f.k.Schedule(0, func() { d.finishDrain(j) })
+	in.drainDone = true
+	in.d.f.k.Schedule(0, func() { in.finishDrain(j) })
 }
 
-// beginDrain is the serve-walltime expiring: the deployment stops accepting
-// work, unadmitted requests migrate to other clusters, and the running batch
-// gets DrainGrace to finish before the scheduler's walltime hard-kills it.
-func (d *fedDep) beginDrain(j *scheduler.Job) {
-	if d.job != j || d.state != depServing {
+// beginDrain stops the instance accepting work: its engine-waiting requests
+// are pulled back and migrated, and the running batch finishes before the
+// job is released. Two callers share it: the serve-walltime expiring
+// (scaleDown=false, with DrainGrace before the scheduler's walltime timer
+// hard-kills the job) and the auto-scaler shrinking an underused pool
+// (scaleDown=true — the same machinery, counted separately).
+func (in *fedInstance) beginDrain(j *scheduler.Job, scaleDown bool) {
+	if in.job != j || in.state != instServing {
 		return
 	}
-	d.state = depDraining
-	d.c.drains++
-	pend := d.pending
-	d.pending = nil
-	for _, r := range pend {
-		d.f.migrate(r)
+	d := in.d
+	in.state = instDraining
+	if scaleDown {
+		d.c.scaleDowns++
+	} else {
+		d.c.drains++
 	}
 	// Pull engine-waiting sequences back: collect first (Abort mutates the
-	// ring), then tombstone, then re-route.
+	// ring), then tombstone, then re-route. With sibling instances still
+	// serving, the ladder's active rung lands them right back on the pool.
 	type waiting struct {
 		id int64
 		r  *Req
 	}
 	var ws []waiting
-	d.eng.EachWaiting(func(s *serving.Sequence) {
+	in.eng.EachWaiting(func(s *serving.Sequence) {
 		ws = append(ws, waiting{s.ID, s.Ctx.(*Req)})
 	})
 	for _, w := range ws {
-		d.eng.Abort(w.id)
+		in.eng.Abort(w.id)
 	}
 	for _, w := range ws {
 		d.f.migrate(w.r)
 	}
-	d.maybeFinishDrain(j)
+	in.maybeFinishDrain(j)
 }
 
 // finishDrain releases the drained job back to the scheduler (Completed).
-func (d *fedDep) finishDrain(j *scheduler.Job) {
-	if d.job != j || d.state != depDraining {
+func (in *fedInstance) finishDrain(j *scheduler.Job) {
+	if in.job != j || in.state != instDraining {
 		return
 	}
-	d.c.sched.Complete(j.ID)
+	in.d.c.sched.Complete(j.ID)
 }
 
 // onJobEnd is the scheduler's terminal callback: graceful drain completion
-// (Completed) or the real walltime timer firing with a live batch
-// (TimedOut). Either way the incarnation is harvested, survivors migrate,
-// and pending demand cold-restarts the deployment.
-func (d *fedDep) onJobEnd(j *scheduler.Job, terminal scheduler.State) {
-	if d.job != j {
+// (Completed), an auto-scaler cancel of a still-queued incarnation
+// (Cancelled), or the real walltime timer firing with a live batch
+// (TimedOut). Either way the incarnation is harvested and leaves the pool;
+// survivors migrate, and pending demand with no pool left re-routes (which
+// cold-restarts the deployment if the ladder sends it back).
+func (in *fedInstance) onJobEnd(j *scheduler.Job, terminal scheduler.State) {
+	if in.job != j || in.state == instDead {
 		return
 	}
+	d := in.d
 	f := d.f
 	spec := f.p.Models[d.model]
 	hardKill := terminal == scheduler.TimedOut
-	d.job = nil
-	d.drainDone = false
+	in.state = instDead
+	in.job = nil
 	var orphans []*Req
-	if d.eng != nil {
-		d.c.busyGPU += time.Duration(int64(d.eng.Stats().BusyTime) * int64(spec.TensorParallel))
+	if in.eng != nil {
+		d.c.busyGPU += time.Duration(int64(in.eng.Stats().BusyTime) * int64(spec.TensorParallel))
 		if hardKill {
-			d.eng.EachWaiting(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
-			d.eng.EachRunning(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
+			in.eng.EachWaiting(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
+			in.eng.EachRunning(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
 			// Completions of the iteration in flight at kill time never
 			// finished on the dead node: they are live work too, invisible
 			// to both iterators above (Step already removed them from the
 			// batch, Halt will drop their delivery).
-			d.eng.EachUndelivered(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
+			in.eng.EachUndelivered(func(s *serving.Sequence) { orphans = append(orphans, s.Ctx.(*Req)) })
 			d.c.hardKills++
 		}
-		d.eng.Halt()
+		in.eng.Halt()
 		// The halted sim's remaining events are no-ops that never touch the
 		// inner engine, and every live sequence has been harvested above, so
 		// the engine itself can go back to the arena pool for the next
 		// incarnation instead of waiting for cell teardown.
 		if f.recycle != nil {
-			f.recycle(d.eng.eng)
+			f.recycle(in.eng.eng)
 		}
-		d.eng = nil
+		in.eng = nil
 	}
-	d.state = depCold
-	pend := d.pending
-	d.pending = nil
-	for _, r := range pend {
-		f.migrate(r)
+	d.removeInstance(in)
+	if len(d.insts) == 0 {
+		pend := d.pending
+		d.pending = nil
+		for _, r := range pend {
+			f.migrate(r)
+		}
 	}
 	for _, r := range orphans {
 		f.migrate(r)
+	}
+}
+
+// removeInstance detaches a dead incarnation, preserving pool order (order
+// is a tie-break input for instance selection, so it must be deterministic).
+func (d *fedDep) removeInstance(in *fedInstance) {
+	for i, x := range d.insts {
+		if x == in {
+			copy(d.insts[i:], d.insts[i+1:])
+			d.insts[len(d.insts)-1] = nil
+			d.insts = d.insts[:len(d.insts)-1]
+			return
+		}
 	}
 }
 
@@ -607,15 +712,29 @@ func (f *Federation) Rungs() FedRungs { return f.rungs }
 // placement.
 func (f *Federation) Migrations() int64 { return f.migrations }
 
+// Arrivals returns how many requests entered the federation gateway.
+func (f *Federation) Arrivals() int64 { return f.arrivals }
+
+// Completions returns how many requests were completed and delivered — the
+// conservation invariant's other half (no request lost, none double-done).
+func (f *Federation) Completions() int64 { return f.completions }
+
 // ClusterStats snapshots per-cluster accounting, folding in any still-live
-// engine incarnations (closed-loop runs end mid-flight).
+// engine incarnations (closed-loop runs end mid-flight, including mid-drain:
+// a draining incarnation's busy time counts exactly once and it is not
+// reported as a live pool member). The snapshot is a pure read — calling it
+// twice yields identical stats.
 func (f *Federation) ClusterStats() []FedClusterStats {
 	out := make([]FedClusterStats, len(f.clusters))
 	for i, c := range f.clusters {
 		busy := c.busyGPU
+		live := 0
 		for _, d := range c.deps {
-			if d.eng != nil {
-				busy += time.Duration(int64(d.eng.Stats().BusyTime) * int64(f.p.Models[d.model].TensorParallel))
+			live += d.liveCount()
+			for _, in := range d.insts {
+				if in.eng != nil {
+					busy += time.Duration(int64(in.eng.Stats().BusyTime) * int64(f.p.Models[d.model].TensorParallel))
+				}
 			}
 		}
 		out[i] = FedClusterStats{
@@ -625,6 +744,11 @@ func (f *Federation) ClusterStats() []FedClusterStats {
 			ColdStarts:      c.coldStarts,
 			Drains:          c.drains,
 			HardKills:       c.hardKills,
+			LiveInstances:   live,
+			PeakInstances:   c.peakInstances,
+			ScaleUps:        c.scaleUps,
+			ScaleDowns:      c.scaleDowns,
+			ScaleRefused:    c.scaleRefused,
 			BusyGPUSeconds:  busy.Seconds(),
 			TotalGPUs:       f.p.NodesPerCluster * f.p.GPUsPerNode,
 			SchedQueuedPeak: c.queuedPeak,

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// The autoscale experiment family reproduces Fig4's elastic-deployment story
+// inside the federation: demand shifts between models mid-run (diurnal
+// swells, square-wave bursts) and the per-cluster auto-scaler grows each
+// deployment pool through the scheduler's real cold-start path, then drains
+// the emptiest instance back down when the wave passes — while walltime
+// churn, hard kills, and background science jobs keep the priority ladder
+// firing on every rung.
+
+// AutoScaleCell is one cell of the family: an open-loop trace whose offered
+// rate and hot model are functions of virtual time.
+type AutoScaleCell struct {
+	// Shape selects the demand curve: "diurnal" (sinusoidal rate swing, hot
+	// model rotating once per period) or "bursty" (4× rate burst in the
+	// first quarter of each period, near-idle after, hot model rotating).
+	Shape    string
+	Clusters int
+	Reqs     int
+	// BaseRatePerSec is the mean offered rate; the shape modulates around it.
+	BaseRatePerSec float64
+	// PeriodS is the demand cycle length in seconds.
+	PeriodS int
+	// MaxInstances caps each deployment pool (≥ 2 enables the scaler).
+	MaxInstances int
+	// Churn tempo overrides in seconds (0 = DefaultFederationParams): short
+	// horizons need faster walltimes to exercise drains and migration.
+	ServeWalltimeS int
+	DrainGraceS    int
+	BGPeriodS      int
+	// Scaler overrides (0 = DefaultAutoScaleParams).
+	ScaleIntervalS   int
+	HiWater, LoWater float64
+}
+
+// params resolves the cell's federation parameters.
+func (c AutoScaleCell) params() desmodel.FederationParams {
+	p := desmodel.DefaultFederationParams(c.Clusters)
+	if c.ServeWalltimeS > 0 {
+		p.ServeWalltime = time.Duration(c.ServeWalltimeS) * time.Second
+	}
+	if c.DrainGraceS > 0 {
+		p.DrainGrace = time.Duration(c.DrainGraceS) * time.Second
+	}
+	if c.BGPeriodS > 0 {
+		p.BGPeriod = time.Duration(c.BGPeriodS) * time.Second
+		p.BGStagger = p.BGPeriod / 5
+		p.BGWalltime = p.BGPeriod * 2 / 3
+	}
+	s := desmodel.DefaultAutoScaleParams()
+	s.MaxInstances = c.MaxInstances
+	if c.ScaleIntervalS > 0 {
+		s.Interval = time.Duration(c.ScaleIntervalS) * time.Second
+	}
+	if c.HiWater > 0 {
+		s.HiWater = c.HiWater
+	}
+	if c.LoWater > 0 {
+		s.LoWater = c.LoWater
+	}
+	p.Scale = s
+	return p
+}
+
+// AutoScaleCells is the full family: diurnal and bursty demand over 2-8
+// clusters, pools up to 4 instances deep. The nightly suite pins it
+// byte-identical across worker counts and queue kinds (make autoscale-night).
+var AutoScaleCells = []AutoScaleCell{
+	{Shape: "diurnal", Clusters: 2, Reqs: 150_000, BaseRatePerSec: 120, PeriodS: 400, MaxInstances: 3},
+	{Shape: "diurnal", Clusters: 4, Reqs: 400_000, BaseRatePerSec: 200, PeriodS: 500, MaxInstances: 4},
+	{Shape: "bursty", Clusters: 4, Reqs: 250_000, BaseRatePerSec: 160, PeriodS: 400, MaxInstances: 4},
+	{Shape: "bursty", Clusters: 8, Reqs: 150_000, BaseRatePerSec: 120, PeriodS: 400, MaxInstances: 3},
+}
+
+// AutoScaleCellsShort is the scaled-down family for per-PR differential
+// tests; the nightly CI job runs the full one (see TestAutoScaleFullScale).
+var AutoScaleCellsShort = []AutoScaleCell{
+	{Shape: "diurnal", Clusters: 2, Reqs: 25_000, BaseRatePerSec: 120, PeriodS: 150, MaxInstances: 3,
+		ServeWalltimeS: 60, DrainGraceS: 20, BGPeriodS: 90, ScaleIntervalS: 5},
+	{Shape: "bursty", Clusters: 4, Reqs: 30_000, BaseRatePerSec: 160, PeriodS: 120, MaxInstances: 4,
+		ServeWalltimeS: 60, DrainGraceS: 20, BGPeriodS: 90, ScaleIntervalS: 5},
+}
+
+// AutoScaleRow is one cell's results.
+type AutoScaleRow struct {
+	Shape    string
+	Clusters int
+	Offered  int
+	M        desmodel.Metrics
+
+	Rungs      desmodel.FedRungs
+	Migrations int64
+	// Scaler activity summed over clusters: pool growth, policy-driven
+	// shrinks, and scale-ups refused at the MaxInstances cap.
+	ScaleUps     int
+	ScaleDowns   int
+	ScaleRefused int
+	// PeakInstances is the deepest any single cluster's pools grew.
+	PeakInstances int
+	ColdStarts    int
+	Drains        int
+	HardKills     int
+	UtilMeanPct   float64
+	UtilMaxPct    float64
+}
+
+// RunAutoScale regenerates the full family on the default parallel fleet.
+func RunAutoScale(seed int64) []AutoScaleRow { return RunAutoScaleOn(Parallel, seed) }
+
+// RunAutoScaleOn regenerates the full family on f.
+func RunAutoScaleOn(f Fleet, seed int64) []AutoScaleRow {
+	return RunAutoScaleCellsOn(f, seed, AutoScaleCells)
+}
+
+// RunAutoScaleCellsOn fans the given cells over the fleet. Each cell's RNG
+// seeds derive from (seed, cell shape) only, so results are byte-identical
+// across worker counts and queue kinds.
+func RunAutoScaleCellsOn(f Fleet, seed int64, cells []AutoScaleCell) []AutoScaleRow {
+	rows := make([]AutoScaleRow, len(cells))
+	f.RunArena(len(cells), func(i int, a *desmodel.Arena) {
+		rows[i] = autoScaleRun(a, cells[i], seed)
+	})
+	return rows
+}
+
+// shapeFns returns the cell's demand curve: offered-rate multiplier and hot
+// model index as pure functions of virtual time (deterministic — no state).
+func (c AutoScaleCell) shapeFns(models int) (mult func(sim.Time) float64, hot func(sim.Time) int) {
+	period := time.Duration(c.PeriodS) * time.Second
+	hot = func(t sim.Time) int {
+		return int(t/period) % models
+	}
+	if c.Shape == "bursty" {
+		mult = func(t sim.Time) float64 {
+			if frac := float64(t%period) / float64(period); frac < 0.25 {
+				return 4.0
+			}
+			return 0.4
+		}
+		return mult, hot
+	}
+	// Diurnal: sinusoidal swing between 0.25× and 1.75× the base rate.
+	mult = func(t sim.Time) float64 {
+		return 1 + 0.75*math.Sin(2*math.Pi*float64(t%period)/float64(period))
+	}
+	return mult, hot
+}
+
+// autoScaleRun drives one cell: an open-loop trace whose arrival gaps thin
+// against the shape's instantaneous rate and whose model choice concentrates
+// on the rotating hot model, so pools must grow under each wave and shrink
+// behind it.
+func autoScaleRun(a *desmodel.Arena, c AutoScaleCell, seed int64) AutoScaleRow {
+	k := a.Begin()
+	k.MaxEvents = federateEventBudget
+	defer func() { k.MaxEvents = 0 }()
+	p := c.params()
+	n := c.Reqs
+	completed := 0
+	sys := desmodel.NewFederationIn(a, p, func(*desmodel.Req) {
+		completed++
+		if completed == n {
+			k.Stop()
+		}
+	})
+	spec := workload.FederateOpen()
+	rng := sim.NewRNG(seed + int64(c.Clusters)*1_000_003 + int64(n) + int64(len(c.Shape)))
+	models := len(p.Models)
+	mult, hot := c.shapeFns(models)
+	baseGap := float64(time.Second) / c.BaseRatePerSec
+	reqs := make([]*desmodel.Req, n)
+	idx := 0
+	var step func()
+	step = func() {
+		now := k.Now()
+		pt, ot := spec.SampleLengths(rng)
+		m := hot(now)
+		if rng.Float64() >= 0.8 {
+			m = rng.Intn(models)
+		}
+		r := &desmodel.Req{ID: idx + 1, PromptTok: pt, OutputTok: ot, Model: m}
+		reqs[idx] = r
+		sys.Arrive(r)
+		idx++
+		if idx < n {
+			k.Schedule(time.Duration(rng.Exp(baseGap/mult(now))), step)
+		}
+	}
+	k.Schedule(time.Duration(rng.Exp(baseGap)), step)
+	end := k.Run(0)
+	return autoScaleRow(sys, c, n, reqs, end)
+}
+
+func autoScaleRow(sys *desmodel.Federation, c AutoScaleCell, offered int, reqs []*desmodel.Req, end sim.Time) AutoScaleRow {
+	row := AutoScaleRow{
+		Shape:      c.Shape,
+		Clusters:   c.Clusters,
+		Offered:    offered,
+		M:          desmodel.Collect(reqs),
+		Rungs:      sys.Rungs(),
+		Migrations: sys.Migrations(),
+	}
+	horizon := sim.Sec(end)
+	var utilSum float64
+	for _, cs := range sys.ClusterStats() {
+		row.ScaleUps += cs.ScaleUps
+		row.ScaleDowns += cs.ScaleDowns
+		row.ScaleRefused += cs.ScaleRefused
+		if cs.PeakInstances > row.PeakInstances {
+			row.PeakInstances = cs.PeakInstances
+		}
+		row.ColdStarts += cs.ColdStarts
+		row.Drains += cs.Drains
+		row.HardKills += cs.HardKills
+		util := 0.0
+		if horizon > 0 && cs.TotalGPUs > 0 {
+			util = 100 * cs.BusyGPUSeconds / (float64(cs.TotalGPUs) * horizon)
+		}
+		utilSum += util
+		if util > row.UtilMaxPct {
+			row.UtilMaxPct = util
+		}
+	}
+	if c.Clusters > 0 {
+		row.UtilMeanPct = utilSum / float64(c.Clusters)
+	}
+	return row
+}

@@ -178,6 +178,21 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		}
 		return m
 	})
+	timed("autoscale", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunAutoScaleOn(f, seed) {
+			key := fmt.Sprintf("%s_c%d", r.Shape, r.Clusters)
+			m[key+"_req_s"] = r.M.ReqPerSec
+			m[key+"_scale_ups"] = float64(r.ScaleUps)
+			m[key+"_scale_downs"] = float64(r.ScaleDowns)
+			if r.Shape == "diurnal" && r.Clusters == 4 {
+				m[key+"_peak_inst"] = float64(r.PeakInstances)
+				m[key+"_refused"] = float64(r.ScaleRefused)
+				m[key+"_med_s"] = r.M.MedianLatS
+			}
+		}
+		return m
+	})
 	// WallMS keeps its v1 meaning — experiment regeneration time only — so
 	// the headline number stays comparable across records; the micro pass
 	// times itself per series.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/metrics"
 	"github.com/argonne-first/first/internal/perfmodel"
 	"github.com/argonne-first/first/internal/serving"
@@ -119,6 +120,13 @@ func CollectMicro() map[string]MicroBench {
 		res := eng.Step(now)
 		now += res.Duration
 	})
+
+	// Auto-scaler: one policy evaluation (steady no-action decision) and one
+	// least-loaded instance selection — the per-tick and per-request hot
+	// paths of the federation's deployment pools, pinned at 0 allocs/op.
+	tick, pick := desmodel.ScalerMicro()
+	out["scaler_tick"] = measureMicro(1000000, tick)
+	out["scaler_pick"] = measureMicro(1000000, pick)
 
 	// Metrics: one striped counter increment (the per-request metric cost).
 	var ctr metrics.Counter

@@ -61,10 +61,30 @@ func ReportOn(w io.Writer, which string, seed int64, f Fleet) error {
 		ReportFederate(w, RunFederateOn(f, seed))
 		ran = true
 	}
+	if all || which == "autoscale" {
+		ReportAutoScale(w, RunAutoScaleOn(f, seed))
+		ran = true
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|federate|all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|table1|batch|opt1|opt2|opt3|routing|storm|federate|autoscale|all)", which)
 	}
 	return nil
+}
+
+// ReportAutoScale prints the Fig4-style elastic-deployment family: shifting
+// demand growing and shrinking per-cluster instance pools through the real
+// scheduler cold-start and drain paths.
+func ReportAutoScale(w io.Writer, rows []AutoScaleRow) {
+	fmt.Fprintln(w, "== Auto-scaling: elastic instance pools inside federated clusters (Fig4 beyond paper size) ==")
+	fmt.Fprintln(w, "shape    clus  offered   done     req/s  med-lat(s)  p99(s)  up/down/refuse  peak-inst  cold/drain/kill  migr    util mean/max%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-4d %8d %8d %8.1f  %9.2f %7.2f  %5d/%4d/%5d  %9d  %4d/%4d/%3d %8d    %5.1f/%5.1f\n",
+			r.Shape, r.Clusters, r.Offered, r.M.Completed, r.M.ReqPerSec, r.M.MedianLatS, r.M.P99LatS,
+			r.ScaleUps, r.ScaleDowns, r.ScaleRefused, r.PeakInstances,
+			r.ColdStarts, r.Drains, r.HardKills, r.Migrations,
+			r.UtilMeanPct, r.UtilMaxPct)
+	}
+	fmt.Fprintln(w)
 }
 
 // ReportFederate prints the federation-at-scale family: open-loop traces and

@@ -33,6 +33,11 @@ type EndpointInfo struct {
 	// Depth is the current total queue depth for tie-breaking among
 	// active endpoints.
 	Depth int
+	// Instances is how many live serving instances back the deployment
+	// (auto-scaled pools). The active-rung tie-break compares depth per
+	// instance, so a pool that scaled out advertises its extra capacity.
+	// Zero is treated as one (single-instance endpoints predate the field).
+	Instances int
 }
 
 // Reason explains a routing decision (logged and exposed on the dashboard).
@@ -51,12 +56,14 @@ func Select(candidates []EndpointInfo) (int, Reason, error) {
 	if len(candidates) == 0 {
 		return -1, "", fmt.Errorf("federation: no endpoints configured")
 	}
-	// 1) Running or queued instance — among those, least depth wins.
+	// 1) Running or queued instance — among those, least depth per live
+	// instance wins (an auto-scaled pool spreads its queue over more
+	// engines). Compared cross-multiplied so the tie-break stays integral.
 	best := -1
 	for i, c := range candidates {
 		switch c.ModelState {
 		case "running", "starting", "queued":
-			if best == -1 || c.Depth < candidates[best].Depth {
+			if best == -1 || lessLoaded(c, candidates[best]) {
 				best = i
 			}
 		}
@@ -72,6 +79,22 @@ func Select(candidates []EndpointInfo) (int, Reason, error) {
 	}
 	// 3) First configured.
 	return 0, ReasonFirstConf, nil
+}
+
+// lessLoaded reports whether a carries strictly less queue depth per live
+// instance than b: a.Depth/a.Instances < b.Depth/b.Instances, evaluated as
+// a cross-multiplication so equal per-instance loads tie exactly (and the
+// earlier-configured endpoint keeps winning ties). Instance counts below
+// one are normalized to one.
+func lessLoaded(a, b EndpointInfo) bool {
+	ai, bi := a.Instances, b.Instances
+	if ai < 1 {
+		ai = 1
+	}
+	if bi < 1 {
+		bi = 1
+	}
+	return a.Depth*bi < b.Depth*ai
 }
 
 // Router binds the pure policy to live fabric endpoints. It is the
@@ -142,6 +165,7 @@ func (r *Router) Route(model string) (Decision, error) {
 			st := d.Status()
 			info.ModelState = st.State
 			info.Depth = d.Depth()
+			info.Instances = d.ReadyCount()
 		}
 		info.FreeGPUs = ep.Scheduler().Cluster().Status().FreeGPUs
 		infos[i] = info

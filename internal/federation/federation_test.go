@@ -201,6 +201,63 @@ func TestSelectDepthTieBreaks(t *testing.T) {
 	}
 }
 
+// TestSelectInstanceAwareDepth pins the auto-scaled tie-break: among active
+// endpoints the comparison is depth per live instance, so a pool that scaled
+// out advertises its extra engines; zero instances means one (the field
+// postdates single-instance endpoints), and exact per-instance ties keep the
+// earliest-configured endpoint.
+func TestSelectInstanceAwareDepth(t *testing.T) {
+	cases := []struct {
+		name       string
+		candidates []EndpointInfo
+		wantIdx    int
+	}{
+		{
+			name: "scaled-out pool beats a shallower single instance",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 8, Instances: 1},
+				{ID: "b", ModelState: "running", Depth: 12, Instances: 3}, // 4 per instance
+			},
+			wantIdx: 1,
+		},
+		{
+			name: "zero instances normalizes to one",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 6},
+				{ID: "b", ModelState: "running", Depth: 5, Instances: 0},
+			},
+			wantIdx: 1,
+		},
+		{
+			name: "equal per-instance depth keeps configuration order",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 4, Instances: 2},
+				{ID: "b", ModelState: "running", Depth: 6, Instances: 3},
+			},
+			wantIdx: 0,
+		},
+		{
+			name: "deep pool still loses to an idle single instance",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 9, Instances: 4},
+				{ID: "b", ModelState: "starting", Depth: 0, Instances: 1},
+			},
+			wantIdx: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			idx, reason, err := Select(c.candidates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != c.wantIdx || reason != ReasonActive {
+				t.Errorf("Select = (%d, %s), want (%d, %s)", idx, reason, c.wantIdx, ReasonActive)
+			}
+		})
+	}
+}
+
 // TestSelectStableUnderCopies is the property test: Select is a pure
 // function of the candidate values — a deep copy of the slice yields the
 // same decision, and the input is never mutated. The DES federation model
@@ -219,6 +276,7 @@ func TestSelectStableUnderCopies(t *testing.T) {
 				FreeGPUs:   rng.Intn(16),
 				NeededGPUs: rng.Intn(9),
 				Depth:      rng.Intn(4),
+				Instances:  rng.Intn(5),
 			}
 		}
 		orig := append([]EndpointInfo(nil), candidates...)
