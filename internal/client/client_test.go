@@ -6,9 +6,12 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/resilience"
 )
 
 // fakeGateway is a minimal OpenAI-compatible handler for SDK tests.
@@ -145,5 +148,247 @@ func TestClientContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := c.Models(ctx); err == nil {
 		t.Error("cancelled context should fail")
+	}
+}
+
+// TestClientCancelMidStream is the regression test for the in-process
+// transport ignoring context cancellation once ServeHTTP had started: a
+// handler stuck mid-SSE must not pin the client past its context. The
+// client cancels after the first delta; the call must return promptly with
+// a context error even though the handler never finishes on its own.
+func TestClientCancelMidStream(t *testing.T) {
+	firstDelta := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		openaiapi.WriteSSE(w, openaiapi.StreamChunk{
+			Choices: []openaiapi.Choice{{Delta: &openaiapi.Message{Content: "first"}}},
+		})
+		close(firstDelta)
+		select { // a stalled upstream: no more events until released
+		case <-release:
+		case <-r.Context().Done():
+		}
+		openaiapi.WriteSSEDone(w)
+	})
+	defer close(release)
+
+	c := New("", "t", WithHandler(h))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-firstDelta
+		cancel()
+	}()
+	done := make(chan struct{})
+	var text string
+	var err error
+	go func() {
+		defer close(done)
+		text, err = c.ChatCompletionStream(ctx, openaiapi.ChatCompletionRequest{
+			Model:    "m1",
+			Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+		}, nil)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled stream still blocked after 5s: transport ignores mid-body cancellation")
+	}
+	if err == nil {
+		t.Fatal("cancelled mid-stream call returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if text != "first" {
+		t.Errorf("partial text = %q, want deltas delivered before the cut", text)
+	}
+}
+
+// flakyGateway fails the first n requests with the given status, then
+// delegates to fakeGateway.
+type flakyGateway struct {
+	fakeGateway
+	mu         sync.Mutex
+	failFirst  int
+	status     int
+	retryAfter string
+	attempts   int
+}
+
+func (f *flakyGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.attempts++
+	fail := f.attempts <= f.failFirst
+	f.mu.Unlock()
+	if fail {
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.WriteHeader(f.status)
+		json.NewEncoder(w).Encode(openaiapi.NewError("overloaded_error", "try later"))
+		return
+	}
+	f.fakeGateway.ServeHTTP(w, r)
+}
+
+func (f *flakyGateway) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts
+}
+
+func TestClientRetriesTransient(t *testing.T) {
+	fg := &flakyGateway{failFirst: 2, status: 503, retryAfter: "0"}
+	c := New("", "t", WithHandler(fg), WithRetry(resilience.Policy{MaxAttempts: 3}))
+	resp, err := c.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "ping"}},
+	})
+	if err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if resp.Choices[0].Message.Content != "pong" {
+		t.Errorf("content = %q", resp.Choices[0].Message.Content)
+	}
+	if got := fg.count(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+// truncGateway serves a 200 whose JSON body is cut mid-object for the first
+// failFirst requests, then delegates to the real fake gateway — the shape a
+// connection cut mid-response produces.
+type truncGateway struct {
+	fakeGateway
+	mu        sync.Mutex
+	failFirst int
+	attempts  int
+}
+
+func (g *truncGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	g.attempts++
+	cut := g.attempts <= g.failFirst
+	g.mu.Unlock()
+	if cut {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"chatcmpl-1","choi`))
+		return
+	}
+	g.fakeGateway.ServeHTTP(w, r)
+}
+
+func TestClientMalformedBodyIsTypedAndRetried(t *testing.T) {
+	tg := &truncGateway{failFirst: 1}
+	c := New("", "t", WithHandler(tg), WithRetry(resilience.Policy{MaxAttempts: 2}))
+	resp, err := c.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "ping"}},
+	})
+	if err != nil {
+		t.Fatalf("retry after truncated body failed: %v", err)
+	}
+	if resp.Choices[0].Message.Content != "pong" {
+		t.Errorf("content = %q", resp.Choices[0].Message.Content)
+	}
+
+	// With no retry budget the caller sees the typed error, not a raw
+	// *json.SyntaxError it cannot classify.
+	tg2 := &truncGateway{failFirst: 10}
+	c2 := New("", "t", WithHandler(tg2))
+	_, err = c2.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "ping"}},
+	})
+	if !errors.Is(err, ErrMalformedResponse) {
+		t.Fatalf("err = %v, want ErrMalformedResponse", err)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	fg := &flakyGateway{failFirst: 10, status: 503, retryAfter: "7"}
+	c := New("", "t", WithHandler(fg),
+		WithRetry(resilience.Policy{MaxAttempts: 2, MaxDelay: time.Millisecond}))
+	_, err := c.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.StatusCode != 503 {
+		t.Errorf("status = %d", apiErr.StatusCode)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want parsed 7s", apiErr.RetryAfter)
+	}
+	if got := fg.count(); got != 2 {
+		t.Errorf("attempts = %d, want budget of 2", got)
+	}
+}
+
+func TestClientNoRetryOn4xx(t *testing.T) {
+	fg := &flakyGateway{failFirst: 10, status: 404}
+	c := New("", "t", WithHandler(fg), WithRetry(resilience.Policy{MaxAttempts: 5}))
+	_, err := c.ChatCompletion(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := fg.count(); got != 1 {
+		t.Errorf("attempts = %d: 4xx must not retry", got)
+	}
+}
+
+func TestClientStreamRetryBeforeConsumed(t *testing.T) {
+	fg := &flakyGateway{failFirst: 1, status: 503, retryAfter: "0"}
+	c := New("", "t", WithHandler(fg), WithRetry(resilience.Policy{MaxAttempts: 3}))
+	var deltas []string
+	full, err := c.ChatCompletionStream(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	}, func(d string) { deltas = append(deltas, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != "streamed reply" || len(deltas) != 2 {
+		t.Errorf("full = %q deltas = %v: retried stream must deliver exactly once", full, deltas)
+	}
+}
+
+func TestClientStreamNeverReplaysConsumedBody(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		openaiapi.WriteSSE(w, openaiapi.StreamChunk{
+			Choices: []openaiapi.Choice{{Delta: &openaiapi.Message{Content: "half"}}},
+		})
+		// Cut without [DONE]: endpoint died mid-stream.
+	})
+	c := New("", "t", WithHandler(h), WithRetry(resilience.Policy{MaxAttempts: 5}))
+	var deltas []string
+	text, err := c.ChatCompletionStream(context.Background(), openaiapi.ChatCompletionRequest{
+		Model:    "m1",
+		Messages: []openaiapi.Message{{Role: "user", Content: "x"}},
+	}, func(d string) { deltas = append(deltas, d) })
+	if !errors.Is(err, openaiapi.ErrStreamTruncated) {
+		t.Fatalf("err = %v, want ErrStreamTruncated", err)
+	}
+	if text != "half" || len(deltas) != 1 {
+		t.Errorf("text = %q deltas = %v, want the partial delivered exactly once", text, deltas)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Errorf("attempts = %d: consumed stream must never be replayed", attempts)
 	}
 }

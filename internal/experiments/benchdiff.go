@@ -35,6 +35,57 @@ const nsAbsToleranceNs = 5.0
 // extra allocation per op shows up as ≥ 1.
 const allocAbsTolerance = 0.5
 
+// hostDriftMinSeries is the number of timing series two records must share
+// before the host-drift estimate engages; below it the sample is too small
+// for a median to mean anything and the factor stays 1.
+const hostDriftMinSeries = 6
+
+// hostDriftMax caps the drift correction at 2× — if the records claim the
+// host halved in speed, something other than CPU drift is going on and the
+// gate should stay loud rather than absorb it.
+const hostDriftMax = 2.0
+
+// HostDrift estimates how much slower the current record's host was than
+// the previous record's, as the median cur/prev ratio over every timing
+// series the two records share (experiment walls and micro ns/op). The
+// records in a repository accumulate across sessions and machines, so raw
+// wall comparison conflates "the code got slower" with "the recording host
+// was slower"; the median over many independent series isolates the latter
+// — a genuine code regression moves its own series, not the median of all
+// of them. The estimate is floored at 1 (never tightened): several walls
+// are sleep-granularity-bound rather than CPU-bound and do not speed up
+// with a faster host, so only slowdown is safe to normalize away. Returns
+// 1 when fewer than hostDriftMinSeries series are shared; capped at
+// hostDriftMax.
+func HostDrift(prev, cur BenchRecord) float64 {
+	var ratios []float64
+	for name, p := range prev.Experiments {
+		if c, ok := cur.Experiments[name]; ok && p.WallMS > 0 {
+			ratios = append(ratios, c.WallMS/p.WallMS)
+		}
+	}
+	for name, p := range prev.Micro {
+		if c, ok := cur.Micro[name]; ok && p.NsPerOp > 0 {
+			ratios = append(ratios, c.NsPerOp/p.NsPerOp)
+		}
+	}
+	if len(ratios) < hostDriftMinSeries {
+		return 1
+	}
+	sort.Float64s(ratios)
+	drift := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		drift = (drift + ratios[len(ratios)/2-1]) / 2
+	}
+	if drift < 1 {
+		return 1
+	}
+	if drift > hostDriftMax {
+		return hostDriftMax
+	}
+	return drift
+}
+
 // BenchRegression is one flagged series.
 type BenchRegression struct {
 	Series string // e.g. "micro/kernel_event ns_per_op"
@@ -54,11 +105,15 @@ func (r BenchRegression) String() string {
 
 // DiffBench flags regressions from prev to cur: any experiment whose
 // regeneration wall time or any micro-benchmark whose ns/op grew past the
-// threshold, and any micro-benchmark that allocates more per op than before
-// (allocation regressions have no tolerance — the data plane is pinned at
-// its budget). Series missing from either record are skipped, so v1 records
-// without a micro section still diff.
+// threshold — after dividing out the HostDrift estimate, so a record taken
+// on a slower machine is compared in that machine's units — and any
+// micro-benchmark that allocates more per op than before (allocation
+// counts are deterministic and host-independent, so they get no drift
+// correction and no tolerance: the data plane is pinned at its budget).
+// Series missing from either record are skipped, so v1 records without a
+// micro section still diff.
 func DiffBench(prev, cur BenchRecord) []BenchRegression {
+	drift := HostDrift(prev, cur)
 	var regs []BenchRegression
 	for _, name := range sortedKeys(prev.Experiments) {
 		p := prev.Experiments[name]
@@ -66,7 +121,8 @@ func DiffBench(prev, cur BenchRecord) []BenchRegression {
 		if !ok || p.WallMS <= 0 {
 			continue
 		}
-		if c.WallMS > p.WallMS*(1+WallRegressionThreshold) && c.WallMS-p.WallMS > wallAbsToleranceMS {
+		base := p.WallMS * drift
+		if c.WallMS > base*(1+WallRegressionThreshold) && c.WallMS-base > wallAbsToleranceMS {
 			regs = append(regs, BenchRegression{Series: "experiments/" + name + " wall_ms", Prev: p.WallMS, Cur: c.WallMS})
 		}
 	}
@@ -76,7 +132,8 @@ func DiffBench(prev, cur BenchRecord) []BenchRegression {
 		if !ok {
 			continue
 		}
-		if p.NsPerOp > 0 && c.NsPerOp > p.NsPerOp*(1+WallRegressionThreshold) && c.NsPerOp-p.NsPerOp > nsAbsToleranceNs {
+		base := p.NsPerOp * drift
+		if p.NsPerOp > 0 && c.NsPerOp > base*(1+WallRegressionThreshold) && c.NsPerOp-base > nsAbsToleranceNs {
 			regs = append(regs, BenchRegression{Series: "micro/" + name + " ns_per_op", Prev: p.NsPerOp, Cur: c.NsPerOp})
 		}
 		if c.AllocsPerOp > p.AllocsPerOp+allocAbsTolerance {
@@ -165,5 +222,9 @@ func DiffLatest(dir string) (regs []BenchRegression, notice string, skipped bool
 	if err != nil {
 		return nil, "", false, err
 	}
-	return DiffBench(prev, cur), fmt.Sprintf("comparing %s -> %s", filepath.Base(prevPath), filepath.Base(curPath)), false, nil
+	notice = fmt.Sprintf("comparing %s -> %s", filepath.Base(prevPath), filepath.Base(curPath))
+	if drift := HostDrift(prev, cur); drift > 1 {
+		notice += fmt.Sprintf(" (host-speed drift ×%.2f — median over shared timing series; thresholds normalized)", drift)
+	}
+	return DiffBench(prev, cur), notice, false, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,6 +64,74 @@ func TestDiffBenchFlagsAnyAllocRegression(t *testing.T) {
 func TestDiffBenchImprovementsPass(t *testing.T) {
 	if regs := DiffBench(recWith(100, 10, 2), recWith(50, 5, 0)); len(regs) != 0 {
 		t.Errorf("improvement flagged: %v", regs)
+	}
+}
+
+// recN builds a record with n experiment walls scaled by f relative to a
+// 100 ms baseline, for host-drift tests.
+func recN(n int, f func(i int) float64) BenchRecord {
+	exps := make(map[string]BenchExperiment, n)
+	for i := 0; i < n; i++ {
+		exps[fmt.Sprintf("exp%d", i)] = BenchExperiment{WallMS: 100 * f(i)}
+	}
+	return BenchRecord{Schema: BenchSchema, Experiments: exps}
+}
+
+func TestHostDriftNormalizesUniformSlowdown(t *testing.T) {
+	prev := recN(8, func(int) float64 { return 1 })
+	cur := recN(8, func(int) float64 { return 1.4 })
+	if d := HostDrift(prev, cur); d < 1.39 || d > 1.41 {
+		t.Fatalf("drift = %v, want ~1.4", d)
+	}
+	// A uniform 40% slowdown is the host, not the code: no flags.
+	if regs := DiffBench(prev, cur); len(regs) != 0 {
+		t.Errorf("uniform host slowdown flagged: %v", regs)
+	}
+}
+
+func TestHostDriftStillCatchesRealRegression(t *testing.T) {
+	prev := recN(8, func(int) float64 { return 1 })
+	// Host ~15% slower across the board, but exp0 doubled: the median
+	// absorbs the drift and exp0 still trips the gate.
+	cur := recN(8, func(i int) float64 {
+		if i == 0 {
+			return 2.0
+		}
+		return 1.15
+	})
+	regs := DiffBench(prev, cur)
+	if len(regs) != 1 || regs[0].Series != "experiments/exp0 wall_ms" {
+		t.Errorf("regs = %v, want exactly the exp0 flag", regs)
+	}
+}
+
+func TestHostDriftNeverTightensAndIsCapped(t *testing.T) {
+	prev := recN(8, func(int) float64 { return 1 })
+	// Faster host: sleep-bound walls don't scale with CPU speed, so the
+	// factor floors at 1 instead of flagging series that merely stood still.
+	if d := HostDrift(prev, recN(8, func(int) float64 { return 0.5 })); d != 1 {
+		t.Errorf("faster-host drift = %v, want floor at 1", d)
+	}
+	// A claimed 4× host slowdown is not CPU drift; the cap keeps the gate loud.
+	if d := HostDrift(prev, recN(8, func(int) float64 { return 4 })); d != hostDriftMax {
+		t.Errorf("extreme drift = %v, want cap %v", d, hostDriftMax)
+	}
+	// Too few shared series: the estimate disengages.
+	if d := HostDrift(recN(3, func(int) float64 { return 1 }), recN(3, func(int) float64 { return 1.5 })); d != 1 {
+		t.Errorf("small-sample drift = %v, want 1", d)
+	}
+}
+
+func TestDiffBenchAllocGateIgnoresDrift(t *testing.T) {
+	// Even under heavy host drift, one extra allocation per op still fails:
+	// allocation counts are deterministic and get no normalization.
+	prev := recN(8, func(int) float64 { return 1 })
+	prev.Micro = map[string]MicroBench{"kernel_event": {NsPerOp: 10, AllocsPerOp: 0}}
+	cur := recN(8, func(int) float64 { return 1.5 })
+	cur.Micro = map[string]MicroBench{"kernel_event": {NsPerOp: 15, AllocsPerOp: 1}}
+	regs := DiffBench(prev, cur)
+	if len(regs) != 1 || regs[0].Series != "micro/kernel_event allocs_per_op" {
+		t.Errorf("regs = %v, want exactly the allocs_per_op flag", regs)
 	}
 }
 

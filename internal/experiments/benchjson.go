@@ -58,8 +58,10 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 	// wall: experiment outputs are deterministic, so the repetitions differ
 	// only in scheduler/GC noise, and the minimum is the standard
 	// noise-robust estimator — single-shot walls on a busy host swing past
-	// the bench-diff threshold without any code change.
-	const benchReps = 3
+	// the bench-diff threshold without any code change. Five reps (not
+	// three) so that on hosts with periodic throttle windows longer than one
+	// repetition at least one rep lands in the fast mode.
+	const benchReps = 5
 	timed := func(name string, run func() map[string]float64) {
 		var best float64
 		var metrics map[string]float64
@@ -174,6 +176,40 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 				m[key+"_rung_active"] = float64(r.Rungs.Active)
 				m[key+"_rung_capacity"] = float64(r.Rungs.Capacity)
 				m[key+"_rung_firstconf"] = float64(r.Rungs.FirstConf)
+			}
+		}
+		return m
+	})
+	// The bench record runs the short livefed cell — the full nightly storm
+	// takes minutes per repetition and its walls are sleep-bound rather than
+	// substrate-bound; the short cell tracks the same calibration metrics.
+	timed("livefed", func() map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range RunLiveFedCellsOn(f, seed, LiveFedCellsShort) {
+			key := fmt.Sprintf("c%d", r.Clusters)
+			m[key+"_ok"] = float64(r.OK)
+			m[key+"_failover_ok"] = float64(r.FailoverOK)
+			m[key+"_shed"] = float64(r.Shed)
+			m[key+"_typed_err"] = float64(r.TypedErr)
+			m[key+"_untyped"] = float64(r.Untyped)
+			m[key+"_retry_amp"] = r.RetryAmp
+			m[key+"_trips"] = float64(r.Trips)
+			m[key+"_p99_s"] = r.P99S
+			// Calibration columns: live rung shares vs the DES twin's.
+			la, lc, lf := rungShares(r.RungActive, r.RungCapacity, r.RungFirstConf)
+			sa, sc, sf := rungShares(r.Sim.Rungs.Active, r.Sim.Rungs.Capacity, r.Sim.Rungs.FirstConf)
+			m[key+"_rung_active_live_pct"] = la
+			m[key+"_rung_capacity_live_pct"] = lc
+			m[key+"_rung_firstconf_live_pct"] = lf
+			m[key+"_rung_active_sim_pct"] = sa
+			m[key+"_rung_capacity_sim_pct"] = sc
+			m[key+"_rung_firstconf_sim_pct"] = sf
+			m[key+"_sim_p99_s"] = r.Sim.M.P99LatS
+			if r.Requests > 0 {
+				m[key+"_failover_per_req"] = float64(r.FailoverAttempts) / float64(r.Requests)
+			}
+			if r.Sim.Offered > 0 {
+				m[key+"_sim_migrations_per_req"] = float64(r.Sim.Migrations) / float64(r.Sim.Offered)
 			}
 		}
 		return m

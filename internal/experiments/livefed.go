@@ -1,0 +1,481 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/argonne-first/first/internal/chaosnet"
+	"github.com/argonne-first/first/internal/client"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/core"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/gateway"
+	"github.com/argonne-first/first/internal/openaiapi"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
+)
+
+// The livefed family puts the LIVE stack — real client SDK, chaosnet
+// fault-injecting transport, sharded gateway, breaker-aware federation
+// router, fabric hub, and engine instances on a scaled clock — under a
+// seeded failure storm, then runs a DES federation with matching churn as
+// the calibration twin. The invariant under fire: zero lost requests —
+// every issued request resolves as success, failover-success, shed (503 +
+// Retry-After), or a typed client error, never a hang or an untyped
+// failure.
+
+// LiveFedCell is one live chaos scenario.
+type LiveFedCell struct {
+	Clusters int
+	Requests int
+	// StreamEvery makes every Nth request a streaming chat call (SSE
+	// through the real gateway, cuttable by chaosnet). 0 = never.
+	StreamEvery int
+	// MaxAttempts budgets client-side retries AND gateway-side failover
+	// re-routes (both layers get the same budget).
+	MaxAttempts int
+	// Net is the client↔gateway fault schedule (refused dials, synthesized
+	// 503 bursts, latency spikes, SSE cuts).
+	Net chaosnet.Config
+	// Faults is the endpoint-side fault schedule: bursts of infer failures
+	// sweeping across endpoints round-robin.
+	Faults chaosnet.Windows
+	// PUnauthorized is the endpoint-side credential-rejection lane: the
+	// gateway reacts by rechecking its token cache, not failing over.
+	PUnauthorized float64
+	// KillAt / RestartAt are request indices at which the victim endpoint
+	// (index 1) is killed (deployment torn down, in-flight work dies) and
+	// cold-restarted through the real scheduler. 0 = never.
+	KillAt    int
+	RestartAt int
+	// Concurrency drives requests from this many goroutines. 1 (or 0)
+	// keeps the outcome schedule deterministic; the chaos race test uses
+	// >1 to exercise mid-flight kills.
+	Concurrency int
+}
+
+// LiveFedCells is the nightly full storm.
+var LiveFedCells = []LiveFedCell{
+	{Clusters: 2, Requests: 2000, StreamEvery: 5, MaxAttempts: 3,
+		Net:           chaosnet.Config{PRefuse: 0.02, P5xx: 0.02, RetryAfter: time.Second, PCutStream: 0.03, CutAfterBytes: 48},
+		Faults:        chaosnet.Windows{BurstEvery: 200, BurstLen: 40, PFault: 0.85, PBackground: 0.01},
+		PUnauthorized: 0.005, KillAt: 600, RestartAt: 1200},
+	{Clusters: 4, Requests: 3000, StreamEvery: 5, MaxAttempts: 3,
+		Net:           chaosnet.Config{PRefuse: 0.02, P5xx: 0.02, RetryAfter: time.Second, PCutStream: 0.03, CutAfterBytes: 48},
+		Faults:        chaosnet.Windows{BurstEvery: 250, BurstLen: 50, PFault: 0.85, PBackground: 0.01},
+		PUnauthorized: 0.005, KillAt: 900, RestartAt: 1800},
+}
+
+// LiveFedCellsShort is the per-PR cell: small enough for the differential
+// suite and `make chaos`, still covering every fault kind plus a kill and
+// cold restart mid-run.
+var LiveFedCellsShort = []LiveFedCell{
+	{Clusters: 2, Requests: 600, StreamEvery: 5, MaxAttempts: 3,
+		Net:           chaosnet.Config{PRefuse: 0.02, P5xx: 0.02, RetryAfter: time.Second, PCutStream: 0.03, CutAfterBytes: 48},
+		Faults:        chaosnet.Windows{BurstEvery: 100, BurstLen: 20, PFault: 0.85, PBackground: 0.01},
+		PUnauthorized: 0.005, KillAt: 200, RestartAt: 400},
+}
+
+// LiveFedRow is one cell's outcome census plus the calibration columns
+// against its DES twin.
+type LiveFedRow struct {
+	Clusters int
+	Requests int
+
+	// Outcome census; OK+FailoverOK+Shed+TypedErr+Untyped == Requests, and
+	// the zero-lost invariant demands Untyped == 0.
+	OK         int
+	FailoverOK int
+	Shed       int
+	TypedErr   int
+	Untyped    int
+
+	MedS float64
+	P99S float64
+
+	// Live resilience accounting (gateway metrics + transport stats).
+	ServerAttempts   int64 // infer RPCs issued by the gateway
+	FailoverAttempts int64
+	FailoverSuccess  int64
+	LoadShed         int64
+	AuthRechecks     int64
+	Trips            int64
+	RungActive       int64
+	RungCapacity     int64
+	RungFirstConf    int64
+	// RetryAmp is client transport round-trips per issued request (1.0 =
+	// no retries anywhere).
+	RetryAmp float64
+	Chaos    map[string]int64
+
+	// Sim twin (DES federation with matching churn tempo) for calibration.
+	Sim FederateRow
+}
+
+// liveFedModel is the single served model; every endpoint hosts it so the
+// ladder's active rung dominates until faults knock endpoints out.
+const liveFedModel = perfmodel.Llama8B
+
+var errInjectedFault = errors.New("livefed: injected endpoint fault")
+
+// liveFedErrHook, when set by tests, observes every classified client
+// error (typed and untyped).
+var liveFedErrHook func(int, error)
+
+// liveFedPrompt / liveFedIndex encode the request index into the prompt so
+// the endpoint-side fault schedule can key off it — the index survives the
+// whole live path because chat inference forwards the last user message.
+func liveFedPrompt(i int) string { return fmt.Sprintf("livefed req %06d", i) }
+
+func liveFedIndex(prompt string) int {
+	const pfx = "livefed req "
+	if !strings.HasPrefix(prompt, pfx) {
+		return -1
+	}
+	n, err := strconv.Atoi(prompt[len(pfx):])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// RunLiveFed runs the nightly family (live cells are inherently sequential;
+// the fleet only accelerates the sim twins).
+func RunLiveFed(seed int64) []LiveFedRow { return RunLiveFedOn(Parallel, seed) }
+
+// RunLiveFedOn runs the full family on f.
+func RunLiveFedOn(f Fleet, seed int64) []LiveFedRow {
+	return RunLiveFedCellsOn(f, seed, LiveFedCells)
+}
+
+// RunLiveFedCellsOn runs each live cell, then its DES calibration twin.
+func RunLiveFedCellsOn(f Fleet, seed int64, cells []LiveFedCell) []LiveFedRow {
+	rows := make([]LiveFedRow, len(cells))
+	for i, c := range cells {
+		rows[i] = RunLiveFedCell(seed, c)
+	}
+	twins := make([]FederateCell, len(cells))
+	for i, c := range cells {
+		twins[i] = c.simTwin()
+	}
+	simRows := RunFederateCellsOn(f, seed, twins)
+	for i := range rows {
+		rows[i].Sim = simRows[i]
+	}
+	return rows
+}
+
+// simTwin shapes the DES calibration run: same federation width, an
+// open-loop trace large enough for stable shares, and churn fast enough
+// that hard kills and migrations (the DES analogue of endpoint death +
+// failover) actually fire inside the horizon.
+func (c LiveFedCell) simTwin() FederateCell {
+	reqs := c.Requests * 10
+	if reqs < 20_000 {
+		reqs = 20_000
+	}
+	return FederateCell{
+		Clusters: c.Clusters, OpenLoopReqs: reqs, RatePerSec: 200,
+		ServeWalltimeS: 45, DrainGraceS: 15, BGPeriodS: 80,
+	}
+}
+
+// RunLiveFedCell boots a real multi-cluster System, arms the fault
+// schedules, and drives every request through the live client/gateway
+// path, classifying each outcome.
+func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
+	cellSeed := uint64(seed) ^ uint64(c.Clusters)<<40 ^ uint64(c.Requests)
+	clusterNames := make([]string, c.Clusters)
+	specs := make([]core.ClusterSpec, c.Clusters)
+	for i := range specs {
+		clusterNames[i] = fmt.Sprintf("lf%d", i)
+		specs[i] = core.ClusterSpec{Name: clusterNames[i], Nodes: 2, GPUsPerNode: 8}
+	}
+
+	// Breaker decisions run on a logical clock advanced one second per
+	// issued request — trip and probe timing depend only on the request
+	// schedule, never on host speed.
+	var issued atomic.Int64
+	epoch := time.Unix(1_700_000_000, 0)
+	breakerNow := func() time.Time {
+		return epoch.Add(time.Duration(issued.Load()) * time.Second)
+	}
+
+	maxAttempts := c.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	sys, err := core.NewSystem(core.Config{
+		Clock:    clock.NewScaled(20000),
+		Clusters: specs,
+		Deployments: []core.DeploymentSpec{
+			{Model: liveFedModel, Clusters: clusterNames,
+				Config: fabric.DeploymentConfig{MinInstances: 1, MaxInstances: 1}},
+		},
+		Gateway: gateway.Config{
+			Retry: resilience.Policy{MaxAttempts: maxAttempts},
+			Breaker: resilience.BreakerConfig{
+				Window: 60 * time.Second, Buckets: 12, MinSamples: 4,
+				FailureRate: 0.5, OpenFor: 10 * time.Second, HalfOpenProbes: 1,
+			},
+			BreakerClock: breakerNow,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("livefed: boot: %v", err))
+	}
+	defer sys.Close()
+	if err := sys.RegisterUser("chaos", "chaos@anl.gov"); err != nil {
+		panic(err)
+	}
+	grant, err := sys.Login("chaos")
+	if err != nil {
+		panic(err)
+	}
+
+	// Endpoint-side fault arming: wrap FnInfer on every endpoint with the
+	// Windows schedule (plus the 401 lane), delegating clean requests to
+	// the real deployment path.
+	for epIdx, name := range clusterNames {
+		armLiveFedEndpoint(sys.Endpoints["ep-"+name], epIdx, c, cellSeed)
+	}
+
+	// Client-side fault arming: chaosnet between the SDK and the gateway.
+	netCfg := c.Net
+	netCfg.Seed = cellSeed ^ 0xc11a05
+	chaos := chaosnet.New(netCfg, sys.Clock, client.HandlerRoundTripper(sys.Gateway))
+	// Backoff waits (including chaosnet's Retry-After hints, which are in
+	// modeled seconds) pass on the scaled clock: a 1 s hint costs 50 µs of
+	// wall time instead of parking the driver — and the simulated clock —
+	// for a real second per 503.
+	newClient := func() *client.Client {
+		return client.New("http://livefed.local", grant.AccessToken,
+			client.WithHTTPClient(&http.Client{Transport: chaos}),
+			client.WithRetry(resilience.Policy{MaxAttempts: maxAttempts}),
+			client.WithSleep(func(ctx context.Context, d time.Duration) error {
+				sys.Clock.Sleep(d)
+				return ctx.Err()
+			}))
+	}
+
+	row := LiveFedRow{Clusters: c.Clusters, Requests: c.Requests}
+	var mu sync.Mutex
+	var lats []float64
+	victim := sys.Endpoints["ep-"+clusterNames[1%len(clusterNames)]]
+
+	// The scaled clock compresses wall time 20000×, so a multi-second run
+	// spans days of simulated time — past the paper's 48-hour token TTL.
+	// Each driver re-logins every tokenRefreshEvery of its own requests,
+	// the way any long-lived client refreshes; and if a slow host still
+	// stretches a refresh interval past 48 simulated hours, an expired-token
+	// 401 is absorbed by re-authenticating and reissuing once, so host speed
+	// never leaks into the fault census.
+	const tokenRefreshEvery = 50
+	refresh := func(cli *client.Client) {
+		g, err := sys.Login("chaos")
+		if err != nil {
+			panic(fmt.Sprintf("livefed: token refresh: %v", err))
+		}
+		cli.SetToken(g.AccessToken)
+	}
+	isExpiredToken := func(err error) bool {
+		var apiErr *client.APIError
+		return errors.As(err, &apiErr) &&
+			apiErr.StatusCode == http.StatusUnauthorized &&
+			strings.Contains(apiErr.Message, "token expired")
+	}
+
+	oneRequest := func(cli *client.Client, i int) {
+		if c.KillAt > 0 && i == c.KillAt {
+			victim.Undeploy(liveFedModel)
+		}
+		if c.RestartAt > 0 && i == c.RestartAt {
+			victim.Deploy(fabric.DeploymentConfig{
+				Model: liveFedModel, MinInstances: 1, MaxInstances: 1,
+			})
+		}
+		issued.Add(1)
+		req := openaiapi.ChatCompletionRequest{
+			Model:     liveFedModel,
+			Messages:  []openaiapi.Message{{Role: "user", Content: liveFedPrompt(i)}},
+			MaxTokens: 16,
+		}
+		failoverBefore := counterOf(sys, "failover_success")
+		start := sys.Clock.Now()
+		issue := func() (err error) {
+			if c.StreamEvery > 0 && i%c.StreamEvery == 0 {
+				_, err = cli.ChatCompletionStream(context.Background(), req, func(string) {})
+			} else {
+				_, err = cli.ChatCompletion(context.Background(), req)
+			}
+			return err
+		}
+		err := issue()
+		if isExpiredToken(err) {
+			refresh(cli)
+			err = issue()
+		}
+		lat := sys.Clock.Since(start).Seconds()
+
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			lats = append(lats, lat)
+			if c.Concurrency <= 1 && counterOf(sys, "failover_success") > failoverBefore {
+				row.FailoverOK++
+			} else {
+				row.OK++
+			}
+		case isShed(err):
+			row.Shed++
+		case isTypedErr(err):
+			row.TypedErr++
+			if liveFedErrHook != nil {
+				liveFedErrHook(i, err)
+			}
+		default:
+			row.Untyped++
+			if liveFedErrHook != nil {
+				liveFedErrHook(i, err)
+			}
+		}
+	}
+
+	if c.Concurrency <= 1 {
+		cli := newClient()
+		for i := 0; i < c.Requests; i++ {
+			if i%tokenRefreshEvery == 0 {
+				refresh(cli)
+			}
+			oneRequest(cli, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < c.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cli := newClient()
+				for issued := 0; ; issued++ {
+					i := int(next.Add(1)) - 1
+					if i >= c.Requests {
+						return
+					}
+					if issued%tokenRefreshEvery == 0 {
+						refresh(cli)
+					}
+					oneRequest(cli, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	sort.Float64s(lats)
+	row.MedS = percentileOf(lats, 0.50)
+	row.P99S = percentileOf(lats, 0.99)
+	row.ServerAttempts = counterOf(sys, "infer_attempts")
+	row.FailoverAttempts = counterOf(sys, "failover_attempts")
+	row.FailoverSuccess = counterOf(sys, "failover_success")
+	row.LoadShed = counterOf(sys, "load_shed")
+	row.AuthRechecks = counterOf(sys, "auth_rechecks")
+	row.RungActive = counterOf(sys, "route_"+string(federationReasonActive))
+	row.RungCapacity = counterOf(sys, "route_"+string(federationReasonCapacity))
+	row.RungFirstConf = counterOf(sys, "route_"+string(federationReasonFirstConf))
+	if sys.Gateway.Breakers() != nil {
+		row.Trips = sys.Gateway.Breakers().Trips()
+	}
+	st := chaos.Stats()
+	roundTrips := st.Refused.Load() + st.Synth5xx.Load() + st.CutStream.Load() + st.Passed.Load()
+	if c.Requests > 0 {
+		row.RetryAmp = float64(roundTrips) / float64(c.Requests)
+	}
+	row.Chaos = st.Snapshot()
+	return row
+}
+
+// Reason strings are mirrored here rather than imported to keep livefed's
+// import graph identical to the gateway's metric names.
+const (
+	federationReasonActive    = "model-active"
+	federationReasonCapacity  = "cluster-has-capacity"
+	federationReasonFirstConf = "first-configured"
+)
+
+// armLiveFedEndpoint wraps the endpoint's infer function with the cell's
+// fault schedule. Attempt numbers are counted per request index so a
+// failover or retry of the same request re-draws (transients clear).
+func armLiveFedEndpoint(ep *fabric.Endpoint, epIdx int, c LiveFedCell, cellSeed uint64) {
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	nEps := c.Clusters
+	ep.RegisterFunction(fabric.FnInfer, func(ctx context.Context, payload []byte) ([]byte, error) {
+		var req fabric.InferRequest
+		if err := fabric.UnmarshalPayload(payload, &req); err != nil {
+			return nil, err
+		}
+		if idx := liveFedIndex(req.Prompt); idx >= 0 {
+			mu.Lock()
+			attempt := seen[idx]
+			seen[idx] = attempt + 1
+			mu.Unlock()
+			if c.PUnauthorized > 0 &&
+				chaosnet.Draw(cellSeed^0x401, uint64(idx)<<20^uint64(epIdx), uint32(attempt), 6) < c.PUnauthorized {
+				return nil, fabric.ErrUnauthorized
+			}
+			if c.Faults.Faulty(cellSeed, idx, epIdx, nEps, attempt) {
+				return nil, errInjectedFault
+			}
+		}
+		d, ok := ep.Deployment(req.Model)
+		if !ok {
+			return nil, fmt.Errorf("fabric: endpoint %s does not host %s", ep.ID(), req.Model)
+		}
+		res, err := d.Generate(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return fabric.MarshalPayload(res), nil
+	})
+}
+
+func counterOf(sys *core.System, name string) int64 {
+	return sys.Metrics.Snapshot().Counters[name]
+}
+
+// isShed: the request was load-shed with a 503 (gateway all-breakers-open
+// or a chaosnet-synthesized upstream 503 that outlived the retry budget).
+func isShed(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable
+}
+
+// isTypedErr: the client saw a well-typed failure it can act on.
+func isTypedErr(err error) bool {
+	var apiErr *client.APIError
+	var refused *chaosnet.RefusedError
+	return errors.As(err, &apiErr) ||
+		errors.As(err, &refused) ||
+		errors.Is(err, openaiapi.ErrStreamTruncated) ||
+		errors.Is(err, client.ErrMalformedResponse) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+func percentileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

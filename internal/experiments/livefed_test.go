@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestLiveFedZeroLost drives the short chaos cell — refused dials, 503
+// bursts, SSE cuts, endpoint fault bursts, credential rejections, and a
+// kill + cold restart mid-run — and checks the headline invariant: every
+// request resolves as success, failover-success, shed, or a typed error.
+func TestLiveFedZeroLost(t *testing.T) {
+	c := LiveFedCellsShort[0]
+	row := RunLiveFedCell(DefaultSeed, c)
+
+	total := row.OK + row.FailoverOK + row.Shed + row.TypedErr + row.Untyped
+	if total != c.Requests {
+		t.Fatalf("accounted %d of %d requests", total, c.Requests)
+	}
+	if row.Untyped != 0 {
+		t.Fatalf("untyped failures = %d, want 0 (every error must be typed)", row.Untyped)
+	}
+	if row.OK == 0 {
+		t.Error("no request succeeded under chaos")
+	}
+	if row.FailoverOK == 0 {
+		t.Error("no failover success — fault bursts should push some requests to the next cluster")
+	}
+	if row.Trips == 0 {
+		t.Error("no breaker trips — the killed endpoint should have tripped its circuit")
+	}
+	if row.RetryAmp <= 1.0 {
+		t.Errorf("retry amplification = %.2f, want > 1 under faults", row.RetryAmp)
+	}
+	// Retries and failover amplify gateway-side attempts, but chaosnet eats
+	// some round trips before they ever reach the gateway (refused dials,
+	// synthesized 503s) — so server attempts land near, not at or above, the
+	// issued count.
+	if row.ServerAttempts < int64(c.Requests)*9/10 {
+		t.Errorf("server attempts = %d, want >= 90%% of issued %d", row.ServerAttempts, c.Requests)
+	}
+}
+
+// TestLiveFedDeterministic pins the outcome schedule: two runs of the same
+// cell (fresh systems, fresh transports) produce identical outcome
+// censuses, rung counts, failover pressure, and chaos fault counts. Wall-
+// derived latency fields are deliberately excluded.
+func TestLiveFedDeterministic(t *testing.T) {
+	c := LiveFedCellsShort[0]
+	a := RunLiveFedCell(DefaultSeed, c)
+	b := RunLiveFedCell(DefaultSeed, c)
+
+	type pinned struct {
+		OK, FailoverOK, Shed, TypedErr, Untyped int
+		ServerAttempts, FailoverAttempts        int64
+		FailoverSuccess, LoadShed, AuthRechecks int64
+		Trips                                   int64
+		RungActive, RungCapacity, RungFirstConf int64
+		Chaos                                   map[string]int64
+	}
+	pin := func(r LiveFedRow) pinned {
+		return pinned{r.OK, r.FailoverOK, r.Shed, r.TypedErr, r.Untyped,
+			r.ServerAttempts, r.FailoverAttempts,
+			r.FailoverSuccess, r.LoadShed, r.AuthRechecks,
+			r.Trips, r.RungActive, r.RungCapacity, r.RungFirstConf, r.Chaos}
+	}
+	pa, pb := pin(a), pin(b)
+	if pa.OK != pb.OK || pa.FailoverOK != pb.FailoverOK || pa.Shed != pb.Shed ||
+		pa.TypedErr != pb.TypedErr || pa.Untyped != pb.Untyped {
+		t.Errorf("outcome census diverged:\n  a=%+v\n  b=%+v", pa, pb)
+	}
+	if pa.ServerAttempts != pb.ServerAttempts || pa.FailoverAttempts != pb.FailoverAttempts ||
+		pa.FailoverSuccess != pb.FailoverSuccess || pa.LoadShed != pb.LoadShed ||
+		pa.AuthRechecks != pb.AuthRechecks || pa.Trips != pb.Trips {
+		t.Errorf("resilience accounting diverged:\n  a=%+v\n  b=%+v", pa, pb)
+	}
+	if pa.RungActive != pb.RungActive || pa.RungCapacity != pb.RungCapacity ||
+		pa.RungFirstConf != pb.RungFirstConf {
+		t.Errorf("rung counts diverged:\n  a=%+v\n  b=%+v", pa, pb)
+	}
+	for k, v := range pa.Chaos {
+		if pb.Chaos[k] != v {
+			t.Errorf("chaos stat %q diverged: %d vs %d", k, v, pb.Chaos[k])
+		}
+	}
+}
+
+// TestLiveFedConcurrentChaos drives the same storm from 8 goroutines with
+// the kill and cold restart landing mid-flight — the race-detector target
+// of `make chaos`. Outcome schedules are not deterministic here; the
+// invariant is purely that nothing is lost or untyped.
+func TestLiveFedConcurrentChaos(t *testing.T) {
+	c := LiveFedCellsShort[0]
+	c.Concurrency = 8
+	row := RunLiveFedCell(DefaultSeed, c)
+
+	total := row.OK + row.FailoverOK + row.Shed + row.TypedErr + row.Untyped
+	if total != c.Requests {
+		t.Fatalf("accounted %d of %d requests", total, c.Requests)
+	}
+	if row.Untyped != 0 {
+		t.Fatalf("untyped failures = %d, want 0", row.Untyped)
+	}
+	if row.OK == 0 {
+		t.Error("no request succeeded")
+	}
+}
+
+// TestLiveFedCalibration runs the short live cell with its DES twin and
+// sanity-checks the calibration columns exist and are comparable: both
+// sides route overwhelmingly on the active rung and both see failover
+// pressure under churn.
+func TestLiveFedCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration twin runs a 20k-request DES scenario")
+	}
+	rows := RunLiveFedCellsOn(Sequential, DefaultSeed, LiveFedCellsShort)
+	r := rows[0]
+	if r.Sim.Offered == 0 || r.Sim.M.Completed == 0 {
+		t.Fatalf("sim twin did not run: %+v", r.Sim)
+	}
+	la, _, _ := rungShares(r.RungActive, r.RungCapacity, r.RungFirstConf)
+	sa, _, _ := rungShares(r.Sim.Rungs.Active, r.Sim.Rungs.Capacity, r.Sim.Rungs.FirstConf)
+	if la < 50 {
+		t.Errorf("live active-rung share = %.1f%%, want majority (every endpoint hosts the model)", la)
+	}
+	if sa < 50 {
+		t.Errorf("sim active-rung share = %.1f%%, want majority", sa)
+	}
+	if r.FailoverAttempts == 0 {
+		t.Error("live side saw no failover attempts under the storm")
+	}
+	if r.Sim.Migrations == 0 {
+		t.Error("sim twin saw no migrations — churn tempo too slow for the horizon")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/argonne-first/first/internal/desmodel"
 	"github.com/argonne-first/first/internal/metrics"
 	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
 	"github.com/argonne-first/first/internal/serving"
 	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
@@ -131,6 +132,17 @@ func CollectMicro() map[string]MicroBench {
 	// Metrics: one striped counter increment (the per-request metric cost).
 	var ctr metrics.Counter
 	out["counter_inc"] = measureMicro(1000000, ctr.Inc)
+
+	// Circuit breaker: one closed-path admission check — the cost every
+	// routed request pays once breakers are enabled, pinned at 0 allocs/op.
+	brk := resilience.NewSet(resilience.BreakerConfig{
+		Window: 10 * time.Second, MinSamples: 10, FailureRate: 0.5,
+	})
+	bnow := time.Unix(0, 0)
+	brk.Record("ep-0", bnow, time.Millisecond, true)
+	out["breaker_allow"] = measureMicro(1000000, func() {
+		brk.CanAttempt("ep-0", bnow)
+	})
 
 	// Workload synthesis: one 100-request ShareGPT trace.
 	seed := int64(0)

@@ -128,6 +128,21 @@ func (ep *Endpoint) Deployment(model string) (*Deployment, bool) {
 	return d, ok
 }
 
+// Undeploy tears the model's deployment down — instances stop, queued work
+// fails with ErrEndpointShutdown — and removes it from the endpoint, as when
+// an endpoint process dies. A later Deploy of the same model starts from
+// cold. Reports whether a deployment existed.
+func (ep *Endpoint) Undeploy(model string) bool {
+	ep.mu.Lock()
+	d, ok := ep.deployments[model]
+	delete(ep.deployments, model)
+	ep.mu.Unlock()
+	if ok {
+		d.Close()
+	}
+	return ok
+}
+
 // Models lists deployed model names.
 func (ep *Endpoint) Models() []string {
 	ep.mu.Lock()

@@ -18,6 +18,10 @@ var (
 	ErrHubQueueFull      = errors.New("fabric: hub task queue full")
 	ErrEndpointShutdown  = errors.New("fabric: endpoint shut down")
 	ErrConnectionPending = errors.New("fabric: endpoint connection not established")
+	// ErrUnauthorized is an endpoint-side credential rejection (the
+	// endpoint's own auth disagrees with the gateway's cached view); the
+	// gateway reacts by rechecking its token cache, not by failing over.
+	ErrUnauthorized = errors.New("fabric: endpoint rejected credentials")
 )
 
 // HubConfig models the cloud service's behaviour.

@@ -13,11 +13,14 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/argonne-first/first/internal/fabric"
 	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
 )
 
 // EndpointInfo is a snapshot of one candidate endpoint for a model.
@@ -105,6 +108,11 @@ type Router struct {
 	mu sync.RWMutex
 	// order[model] lists endpoints in configuration-registry order.
 	order map[string][]*fabric.Endpoint
+
+	// breakers, when set via UseBreakers, removes endpoints whose circuit is
+	// open from the candidate set; breakerNow supplies the time base.
+	breakers   *resilience.Set
+	breakerNow func() time.Time
 }
 
 // NewRouter returns an empty router.
@@ -147,9 +155,50 @@ type Decision struct {
 	Reason   Reason
 }
 
+// UseBreakers wires a breaker set into routing: endpoints whose circuit is
+// open at now() drop out of the candidate set, and when every candidate is
+// open Route reports AllOpenError instead of picking a doomed endpoint.
+// Passing a nil set detaches breakers (plain routing).
+func (r *Router) UseBreakers(set *resilience.Set, now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.breakers = set
+	r.breakerNow = now
+}
+
+func (r *Router) breakerView() (*resilience.Set, func() time.Time) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.breakers, r.breakerNow
+}
+
+// AllOpenError reports that every configured endpoint for a model currently
+// has an open circuit. RetryAfter is the time until the soonest breaker
+// admits a half-open probe — the gateway surfaces it as a Retry-After
+// header on the 503.
+type AllOpenError struct {
+	Model      string
+	RetryAfter time.Duration
+}
+
+func (e *AllOpenError) Error() string {
+	return fmt.Sprintf("federation: all endpoints for model %q have open circuits (retry in %v)", e.Model, e.RetryAfter)
+}
+
+// ErrNoCandidates reports that the avoid list exhausted a model's endpoint
+// set during failover (distinct from a model with no routes at all).
+var ErrNoCandidates = errors.New("federation: no remaining candidate endpoints")
+
 // Route picks the endpoint for a model request by snapshotting each
 // candidate's deployment state and cluster status.
 func (r *Router) Route(model string) (Decision, error) {
+	return r.RouteAvoiding(model, nil)
+}
+
+// RouteAvoiding routes like Route but skips endpoint IDs in avoid — the
+// failover path: after an attempt fails, the gateway re-routes with the
+// failed endpoints excluded so the retry lands on the next-best cluster.
+func (r *Router) RouteAvoiding(model string, avoid []string) (Decision, error) {
 	eps := r.Endpoints(model)
 	if len(eps) == 0 {
 		return Decision{}, fmt.Errorf("federation: model %q has no configured endpoints", model)
@@ -158,8 +207,43 @@ func (r *Router) Route(model string) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	infos := make([]EndpointInfo, len(eps))
-	for i, ep := range eps {
+	set, nowFn := r.breakerView()
+	var now time.Time
+	if set != nil && nowFn != nil {
+		now = nowFn()
+	}
+	avoided := func(id string) bool {
+		for _, a := range avoid {
+			if a == id {
+				return true
+			}
+		}
+		return false
+	}
+	kept := make([]*fabric.Endpoint, 0, len(eps))
+	blockedByBreaker := 0
+	for _, ep := range eps {
+		if avoided(ep.ID()) {
+			continue
+		}
+		if set != nil && !set.CanAttempt(ep.ID(), now) {
+			blockedByBreaker++
+			continue
+		}
+		kept = append(kept, ep)
+	}
+	if len(kept) == 0 {
+		if blockedByBreaker > 0 {
+			retryAfter := time.Second
+			if d, ok := set.RetryAfter(now); ok {
+				retryAfter = d
+			}
+			return Decision{}, &AllOpenError{Model: model, RetryAfter: retryAfter}
+		}
+		return Decision{}, ErrNoCandidates
+	}
+	infos := make([]EndpointInfo, len(kept))
+	for i, ep := range kept {
 		info := EndpointInfo{ID: ep.ID(), ModelState: "cold", NeededGPUs: spec.TensorParallel}
 		if d, ok := ep.Deployment(model); ok {
 			st := d.Status()
@@ -174,5 +258,5 @@ func (r *Router) Route(model string) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	return Decision{Endpoint: eps[idx], Reason: reason}, nil
+	return Decision{Endpoint: kept[idx], Reason: reason}, nil
 }

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"github.com/argonne-first/first/internal/fabric"
 	"github.com/argonne-first/first/internal/metrics"
 	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
 	"github.com/argonne-first/first/internal/scheduler"
 )
 
@@ -373,5 +375,96 @@ func TestRouterModelsList(t *testing.T) {
 	}
 	if got := len(r.Endpoints(perfmodel.Llama8B)); got != 1 {
 		t.Errorf("endpoints = %d", got)
+	}
+}
+
+// TestRouterBreakerAwareRouting pins the resilience wiring: tripped
+// endpoints fall out of the candidate set, failover's avoid list reaches
+// the next-best cluster, and an all-open model reports AllOpenError with a
+// Retry-After derived from the soonest half-open probe.
+func TestRouterBreakerAwareRouting(t *testing.T) {
+	clk := clock.NewScaled(20000)
+	a := newEndpoint(t, "a", 2, 8, clk)
+	b := newEndpoint(t, "b", 2, 8, clk)
+
+	r := NewRouter(nil)
+	r.AddRoute(perfmodel.Llama8B, a)
+	r.AddRoute(perfmodel.Llama8B, b)
+
+	set := resilience.NewSet(resilience.BreakerConfig{
+		Window: 10 * time.Second, MinSamples: 2, FailureRate: 0.5, OpenFor: 5 * time.Second,
+	})
+	base := time.Unix(1000, 0)
+	now := base
+	r.UseBreakers(set, func() time.Time { return now })
+
+	// Both healthy: registry order picks ep-a (capacity rung; nothing
+	// deployed).
+	d, err := r.Route(perfmodel.Llama8B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Endpoint.ID() != "ep-a" {
+		t.Fatalf("healthy route = %s, want ep-a", d.Endpoint.ID())
+	}
+
+	// Avoiding every endpoint (failover exhausted the set) is
+	// ErrNoCandidates — distinct from breaker-driven unavailability.
+	if _, err := r.RouteAvoiding(perfmodel.Llama8B, []string{"ep-a", "ep-b"}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("avoiding all: err = %v, want ErrNoCandidates", err)
+	}
+
+	// Trip ep-a: routing must shift to ep-b without any avoid list.
+	set.Record("ep-a", now, 0, false)
+	set.Record("ep-a", now, 0, false)
+	d, err = r.Route(perfmodel.Llama8B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Endpoint.ID() != "ep-b" {
+		t.Errorf("route with ep-a open = %s, want ep-b", d.Endpoint.ID())
+	}
+
+	// Avoiding the last healthy endpoint while the other is open still
+	// reports the breaker horizon (the client gets a Retry-After, not a
+	// blind failure).
+	if _, err := r.RouteAvoiding(perfmodel.Llama8B, []string{"ep-b"}); err == nil {
+		t.Error("avoiding last healthy endpoint succeeded")
+	} else {
+		var ao *AllOpenError
+		if !errors.As(err, &ao) {
+			t.Errorf("err = %v, want AllOpenError", err)
+		}
+	}
+
+	// Trip ep-b too: all open → AllOpenError carrying the soonest probe.
+	set.Record("ep-b", now.Add(time.Second), 0, false)
+	set.Record("ep-b", now.Add(time.Second), 0, false)
+	now = base.Add(2 * time.Second)
+	_, err = r.Route(perfmodel.Llama8B)
+	var allOpen *AllOpenError
+	if !errors.As(err, &allOpen) {
+		t.Fatalf("all-open route err = %v, want AllOpenError", err)
+	}
+	// ep-a reopens at base+5s → 3s from now (sooner than ep-b's base+6s).
+	if allOpen.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", allOpen.RetryAfter)
+	}
+
+	// Past OpenFor, the probe-admitting endpoint is routable again.
+	now = base.Add(6 * time.Second)
+	d, err = r.Route(perfmodel.Llama8B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Endpoint.ID() != "ep-a" {
+		t.Errorf("post-expiry route = %s, want ep-a probe", d.Endpoint.ID())
+	}
+
+	// Detaching the set restores plain routing even while breakers are open.
+	r.UseBreakers(nil, nil)
+	now = base
+	if d, err = r.Route(perfmodel.Llama8B); err != nil || d.Endpoint.ID() != "ep-a" {
+		t.Errorf("detached route = %v/%v, want ep-a", d, err)
 	}
 }

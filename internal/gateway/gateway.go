@@ -33,6 +33,7 @@ import (
 	"github.com/argonne-first/first/internal/metrics"
 	"github.com/argonne-first/first/internal/openaiapi"
 	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
 	"github.com/argonne-first/first/internal/store"
 )
 
@@ -83,6 +84,20 @@ type Config struct {
 	// LimiterIdleTTL evicts per-user rate-limiter buckets idle longer than
 	// this (default 15 min), so one-shot users don't grow the table forever.
 	LimiterIdleTTL time.Duration
+	// Retry is the inference failover policy: on attempt failure the
+	// gateway re-routes to the next-best endpoint (the failed ones
+	// excluded) up to Retry.Attempts() total tries. The zero value keeps
+	// the historical single-attempt behavior.
+	Retry resilience.Policy
+	// Breaker enables per-endpoint circuit breaking when
+	// Breaker.Enabled() (FailureRate > 0): tripped endpoints drop out of
+	// routing, and when every endpoint for a model is open the gateway
+	// sheds load with 503 + Retry-After. The zero value disables breaking.
+	Breaker resilience.BreakerConfig
+	// BreakerClock overrides the time base for breaker decisions (nil =
+	// the gateway clock). Deterministic harnesses inject a logical clock
+	// so breaker state replays identically across runs.
+	BreakerClock func() time.Time
 }
 
 func (c *Config) applyDefaults() {
@@ -158,6 +173,11 @@ type Server struct {
 
 	toolsMu sync.Mutex // tools registration is control-plane, not sharded
 	tools   map[string][]ToolRoute
+
+	// breakers is non-nil only when cfg.Breaker.Enabled(); breakerNow is
+	// always callable (cfg.BreakerClock or the gateway clock).
+	breakers   *resilience.Set
+	breakerNow func() time.Time
 }
 
 // Deps bundles the gateway's collaborators.
@@ -207,9 +227,21 @@ func New(cfg Config, deps Deps) (*Server, error) {
 	} else {
 		s.inFlightLimit = int64(cfg.InFlightLimit)
 	}
+	s.breakerNow = cfg.BreakerClock
+	if s.breakerNow == nil {
+		s.breakerNow = deps.Clock.Now
+	}
+	if cfg.Breaker.Enabled() {
+		s.breakers = resilience.NewSet(cfg.Breaker)
+		deps.Router.UseBreakers(s.breakers, s.breakerNow)
+	}
 	s.routes()
 	return s, nil
 }
+
+// Breakers exposes the breaker set (nil when breaking is disabled) for
+// tests and harnesses that assert on trip counts and endpoint health.
+func (s *Server) Breakers() *resilience.Set { return s.breakers }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/chat/completions", s.withAuth(s.handleChat))

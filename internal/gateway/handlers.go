@@ -1,15 +1,19 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/argonne-first/first/internal/auth"
 	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/federation"
 	"github.com/argonne-first/first/internal/metrics"
 	"github.com/argonne-first/first/internal/openaiapi"
 	"github.com/argonne-first/first/internal/store"
@@ -81,7 +85,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request, who auth.Tok
 	})
 	if err != nil {
 		s.logRequest(who, req.Model, meta, store.KindChat, promptTok, 0, "error")
-		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+		s.writeInferError(w, err)
 		return
 	}
 	s.logRequest(who, req.Model, meta, store.KindChat, res.PromptTok, res.OutputTok, "ok")
@@ -144,6 +148,9 @@ func (s *Server) streamChat(w http.ResponseWriter, resp openaiapi.ChatCompletion
 			Choices: []openaiapi.Choice{{Index: 0, Delta: &openaiapi.Message{Role: "assistant", Content: piece}}},
 		}
 		if err := openaiapi.WriteSSE(w, chunk); err != nil {
+			// The client went away mid-stream; the missing [DONE] lets the
+			// reader detect the truncation as a typed error.
+			s.met.Counter("stream_aborts").Inc()
 			return
 		}
 		if flusher != nil {
@@ -194,7 +201,7 @@ func (s *Server) handleCompletion(w http.ResponseWriter, r *http.Request, who au
 	})
 	if err != nil {
 		s.logRequest(who, req.Model, meta, store.KindCompletion, promptTok, 0, "error")
-		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+		s.writeInferError(w, err)
 		return
 	}
 	s.logRequest(who, req.Model, meta, store.KindCompletion, res.PromptTok, res.OutputTok, "ok")
@@ -212,16 +219,130 @@ func (s *Server) handleCompletion(w http.ResponseWriter, r *http.Request, who au
 	})
 }
 
-// infer routes through the federation layer and executes via the fabric.
+// infer routes through the federation layer and executes via the fabric,
+// with retry/failover under the configured resilience policy.
 func (s *Server) infer(r *http.Request, who auth.TokenInfo, model string, req fabric.InferRequest) (fabric.InferResult, routeMeta, error) {
-	decision, err := s.router.Route(model)
-	if err != nil {
-		return fabric.InferResult{}, routeMeta{}, err
-	}
-	meta := routeMeta{endpoint: decision.Endpoint.ID(), cluster: decision.Endpoint.ClusterName(), reason: string(decision.Reason)}
-	s.met.Counter("route_" + string(decision.Reason)).Inc()
-	res, err := s.client.Infer(r.Context(), decision.Endpoint.ID(), req)
+	var res fabric.InferResult
+	meta, err := s.routeAndRun(r, model, func(ctx context.Context, endpointID string) error {
+		var ierr error
+		res, ierr = s.client.Infer(ctx, endpointID, req)
+		return ierr
+	})
 	return res, meta, err
+}
+
+// routeAndRun is the resilience core of the live path: route → acquire
+// breaker admission → run → record outcome, failing over to the next-best
+// endpoint (failed ones excluded) until the attempt budget runs out. At the
+// zero-value Retry policy this is exactly one route + one run with no
+// breaker bookkeeping — behavior-identical to the historical path.
+//
+// An endpoint-side fabric.ErrUnauthorized triggers one token-cache recheck
+// (the cached introspection may be stale) and, when the token proves still
+// valid, one free replay against the same endpoint — an auth disagreement is
+// not an endpoint health signal, so it neither feeds the breaker as a
+// failure vote nor burns the failover budget.
+func (s *Server) routeAndRun(r *http.Request, model string, run func(ctx context.Context, endpointID string) error) (routeMeta, error) {
+	var (
+		meta      routeMeta
+		avoid     []string
+		lastErr   error
+		rechecked bool
+	)
+	for attempt := 0; attempt < s.cfg.Retry.Attempts(); attempt++ {
+		if attempt > 0 {
+			s.met.Counter("failover_attempts").Inc()
+			if d := s.cfg.Retry.Delay(attempt-1, 0); d > 0 {
+				s.clk.Sleep(d)
+			}
+		}
+		decision, err := s.router.RouteAvoiding(model, avoid)
+		if err != nil {
+			// Failover exhausted the candidate set: the attempt error is
+			// the story, not the bare routing failure. A first-attempt
+			// routing error (lastErr == nil) passes through unchanged.
+			if lastErr != nil && errors.Is(err, federation.ErrNoCandidates) {
+				return meta, lastErr
+			}
+			return meta, err
+		}
+		id := decision.Endpoint.ID()
+		if s.breakers != nil && !s.breakers.Acquire(id, s.breakerNow()) {
+			// Lost the half-open probe race to a concurrent request: this
+			// endpoint is spoken for, look elsewhere without spending an
+			// attempt.
+			avoid = append(avoid, id)
+			attempt--
+			continue
+		}
+		meta = routeMeta{endpoint: id, cluster: decision.Endpoint.ClusterName(), reason: string(decision.Reason)}
+		s.met.Counter("route_" + string(decision.Reason)).Inc()
+		s.met.Counter("infer_attempts").Inc()
+		ctx := r.Context()
+		var cancel context.CancelFunc
+		if s.cfg.Retry.AttemptTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Retry.AttemptTimeout)
+		}
+		start := s.clk.Now()
+		err = run(ctx, id)
+		if cancel != nil {
+			cancel()
+		}
+		if s.breakers != nil {
+			// Caller-side cancellation and auth disagreements say nothing
+			// about endpoint health; everything else votes.
+			failure := err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, fabric.ErrUnauthorized)
+			s.breakers.Record(id, s.breakerNow(), s.clk.Since(start), !failure)
+		}
+		if err == nil {
+			if attempt > 0 {
+				s.met.Counter("failover_success").Inc()
+			}
+			return meta, nil
+		}
+		lastErr = err
+		if errors.Is(err, fabric.ErrUnauthorized) {
+			if rechecked {
+				return meta, err
+			}
+			rechecked = true
+			s.met.Counter("auth_rechecks").Inc()
+			token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if info, rerr := s.tokens.Recheck(token); rerr == nil && info.Active {
+				attempt-- // token still valid: replay, endpoint stays eligible
+				continue
+			}
+			return meta, err
+		}
+		if r.Context().Err() != nil {
+			return meta, err
+		}
+		avoid = append(avoid, id)
+	}
+	return meta, lastErr
+}
+
+// writeInferError maps a routeAndRun failure onto the wire: all-circuits-
+// open becomes a 503 with a Retry-After derived from the soonest half-open
+// probe (load shed, counted), an endpoint-side credential rejection that
+// survived the recheck becomes 401, and everything else stays the
+// historical 502 api_error.
+func (s *Server) writeInferError(w http.ResponseWriter, err error) {
+	var allOpen *federation.AllOpenError
+	switch {
+	case errors.As(err, &allOpen):
+		s.met.Counter("load_shed").Inc()
+		secs := int((allOpen.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.writeError(w, http.StatusServiceUnavailable, "overloaded_error", err.Error())
+	case errors.Is(err, fabric.ErrUnauthorized):
+		s.writeError(w, http.StatusUnauthorized, "invalid_request_error", err.Error())
+	default:
+		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+	}
 }
 
 type routeMeta struct {
@@ -267,20 +388,30 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request, who au
 		s.writeError(w, http.StatusForbidden, "permission_error", err.Error())
 		return
 	}
-	decision, err := s.router.Route(req.Model)
-	if err != nil {
-		s.writeError(w, http.StatusNotFound, "invalid_request_error", err.Error())
-		return
-	}
-	res, err := s.client.Embed(r.Context(), decision.Endpoint.ID(), fabric.EmbedRequest{Model: req.Model, Inputs: req.Input})
-	meta := routeMeta{endpoint: decision.Endpoint.ID(), cluster: decision.Endpoint.ClusterName(), reason: string(decision.Reason)}
+	var res fabric.EmbedResult
+	meta, err := s.routeAndRun(r, req.Model, func(ctx context.Context, endpointID string) error {
+		var eerr error
+		res, eerr = s.client.Embed(ctx, endpointID, fabric.EmbedRequest{Model: req.Model, Inputs: req.Input})
+		return eerr
+	})
 	var promptTok int
 	for _, in := range req.Input {
 		promptTok += workload.EstimateTokens(in)
 	}
 	if err != nil {
+		var allOpen *federation.AllOpenError
+		if errors.As(err, &allOpen) {
+			s.writeInferError(w, err)
+			return
+		}
+		if meta.endpoint == "" {
+			// Routing never reached an endpoint: the historical 404 for
+			// unrouted models, unlogged as before.
+			s.writeError(w, http.StatusNotFound, "invalid_request_error", err.Error())
+			return
+		}
 		s.logRequest(who, req.Model, meta, store.KindEmbedding, promptTok, 0, "error")
-		s.writeError(w, http.StatusBadGateway, "api_error", err.Error())
+		s.writeInferError(w, err)
 		return
 	}
 	s.logRequest(who, req.Model, meta, store.KindEmbedding, promptTok, 0, "ok")
@@ -453,11 +584,25 @@ func (s *Server) refreshAuthMetrics() {
 	s.met.Gauge("auth_cache_misses").Set(misses)
 	s.met.Gauge("auth_cache_coalesced").Set(s.tokens.Coalesced())
 	s.met.Gauge("auth_cache_entries").Set(int64(s.tokens.Len()))
+	s.met.Gauge("auth_cache_invalidations").Set(s.tokens.Invalidations())
+}
+
+// refreshResilienceMetrics mirrors breaker state into gauges (pull-on-read,
+// like the auth cache stats, keeping Record/CanAttempt registry-free).
+func (s *Server) refreshResilienceMetrics() {
+	if s.breakers == nil {
+		return
+	}
+	open, halfOpen := s.breakers.StateCounts()
+	s.met.Gauge("breaker_open").Set(open)
+	s.met.Gauge("breaker_half_open").Set(halfOpen)
+	s.met.Gauge("breaker_trips").Set(s.breakers.Trips())
 }
 
 // handleMetrics serves GET /metrics (Prometheus-style text).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.refreshAuthMetrics()
+	s.refreshResilienceMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, s.met.Expose())
@@ -474,6 +619,7 @@ type Dashboard struct {
 // handleDashboard serves GET /dashboard.
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	s.refreshAuthMetrics()
+	s.refreshResilienceMetrics()
 	d := Dashboard{
 		GeneratedAt: s.clk.Now(),
 		Totals:      s.st.Totals(),

@@ -2,6 +2,8 @@ package openaiapi
 
 import (
 	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -60,6 +62,65 @@ func FuzzParseRequest(f *testing.F) {
 		if err := json.Unmarshal(data, &batch); err == nil {
 			for _, l := range batch.InputLines {
 				_ = l.Body.Validate()
+			}
+		}
+	})
+}
+
+// FuzzReadSSE hardens the stream reader against arbitrary wire bytes — in
+// particular streams cut mid-event, which chaos testing produces on purpose.
+// Properties: never panic; a stream containing a [DONE] sentinel before the
+// cut returns nil; any clean EOF without [DONE] returns ErrStreamTruncated
+// (never silent success); delivered payloads are never empty.
+func FuzzReadSSE(f *testing.F) {
+	seeds := []string{
+		"",
+		"data: {\"x\":1}\n\ndata: [DONE]\n\n",
+		"data: {\"x\":1}\n\n",                   // complete event, missing [DONE]
+		"data: {\"choices\":[{\"delta\":{\"con", // cut mid-JSON, no trailing newline
+		"data: {\"x\":1}\n\ndata: {\"y\":",      // second event cut mid-payload
+		"data:",                                 // bare field name at EOF
+		"data: [DON",                            // sentinel itself cut
+		"data:[DONE]",                           // no-space sentinel, no trailing blank line
+		": comment only\n\n",                    // heartbeat-only stream, then cut
+		"event: ping\ndata: {}",                 // wrong event framing, cut before blank line
+		"data: [DONE]\n\ndata: ",                // trailing garbage after sentinel
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sawDone bool
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "data:") {
+				continue
+			}
+			p := strings.TrimPrefix(line, "data:")
+			if strings.HasPrefix(p, " ") {
+				p = p[1:] // ReadSSE strips at most one optional space
+			}
+			if p == StreamDone {
+				sawDone = true
+				break
+			}
+		}
+		err := ReadSSE(strings.NewReader(string(data)), func(payload []byte) error {
+			if len(payload) == 0 {
+				t.Error("empty payload delivered")
+			}
+			return nil
+		})
+		if sawDone && err != nil {
+			t.Errorf("stream with [DONE] returned %v", err)
+		}
+		if !sawDone && err == nil {
+			t.Error("cut stream returned nil, want ErrStreamTruncated")
+		}
+		if !sawDone && err != nil && !errors.Is(err, ErrStreamTruncated) {
+			// Scanner-level errors (oversized tokens) are legitimate too, but
+			// only for genuinely oversized input.
+			if len(data) <= 64*1024 {
+				t.Errorf("cut stream returned untyped error %v", err)
 			}
 		}
 	})

@@ -3,6 +3,7 @@ package openaiapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -115,6 +116,44 @@ func TestReadSSEIgnoresNonDataLines(t *testing.T) {
 	}
 	if seen != 1 {
 		t.Errorf("seen = %d", seen)
+	}
+}
+
+// TestReadSSETruncated pins the mid-stream disconnect contract: clean EOF
+// without the [DONE] sentinel is a typed error, never silent success — a
+// cut SSE stream must not be mistaken for a complete answer.
+func TestReadSSETruncated(t *testing.T) {
+	cases := []string{
+		"",
+		"data: {\"x\":1}\n\n",
+		"data: {\"choices\":[{\"delta\":{\"content\":\"par", // cut mid-JSON
+		"data: [DON",
+	}
+	for _, raw := range cases {
+		err := ReadSSE(strings.NewReader(raw), func([]byte) error { return nil })
+		if !errors.Is(err, ErrStreamTruncated) {
+			t.Errorf("ReadSSE(%q) = %v, want ErrStreamTruncated", raw, err)
+		}
+	}
+	// Deltas before the cut still reach the consumer; the error comes after.
+	var got []string
+	err := ReadSSE(strings.NewReader("data: {\"a\":1}\n\ndata: {\"b\":2}"), func(d []byte) error {
+		got = append(got, string(d))
+		return nil
+	})
+	if !errors.Is(err, ErrStreamTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 2 || got[0] != `{"a":1}` || got[1] != `{"b":2}` {
+		t.Errorf("payloads before cut = %q", got)
+	}
+	// CollectStreamText propagates it alongside the partial text.
+	text, err := CollectStreamText(strings.NewReader("data: {\"choices\":[{\"delta\":{\"content\":\"half\"}}]}\n\n"))
+	if !errors.Is(err, ErrStreamTruncated) {
+		t.Fatalf("CollectStreamText err = %v", err)
+	}
+	if text != "half" {
+		t.Errorf("partial text = %q, want \"half\"", text)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -14,6 +15,12 @@ import (
 
 // StreamDone is the terminal SSE sentinel.
 const StreamDone = "[DONE]"
+
+// ErrStreamTruncated reports a stream that ended (clean EOF) without the
+// [DONE] sentinel: the connection was cut mid-stream. Callers distinguish it
+// from transport errors with errors.Is; the deltas delivered before the cut
+// were real, but the stream as a whole must not be treated as complete.
+var ErrStreamTruncated = errors.New("openaiapi: SSE stream truncated before [DONE]")
 
 // WriteSSE writes one event carrying v as JSON.
 func WriteSSE(w io.Writer, v interface{}) error {
@@ -41,10 +48,15 @@ type StreamChunk struct {
 }
 
 // ReadSSE consumes an SSE stream, invoking onData for every event payload
-// until [DONE] or EOF. Per the SSE specification, the colon after the field
-// name may be followed by at most one optional space — `data:payload` is as
+// until [DONE]. Per the SSE specification, the colon after the field name
+// may be followed by at most one optional space — `data:payload` is as
 // valid as `data: payload` — so both forms are accepted (our own WriteSSE
 // emits the spaced form, but other servers legitimately do not).
+//
+// A stream that reaches EOF without the [DONE] sentinel was cut mid-flight
+// (endpoint death, dropped connection): ReadSSE returns ErrStreamTruncated
+// rather than silently reporting success, so callers never mistake a
+// partial answer for a complete one.
 func ReadSSE(r io.Reader, onData func(data []byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
@@ -74,7 +86,10 @@ func ReadSSE(r io.Reader, onData func(data []byte) error) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return ErrStreamTruncated
 }
 
 // CollectStreamText reassembles the full assistant text from a chat SSE

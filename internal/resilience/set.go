@@ -1,0 +1,181 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is the passive per-endpoint health view, fed by every response
+// that crosses the gateway (not just probes): totals, consecutive
+// failures, and an EWMA of attempt latency.
+type Health struct {
+	Successes           int64
+	Failures            int64
+	ConsecutiveFailures int64
+	LastFailureAt       time.Time
+	// EWMALatency smooths attempt latency with α = 1/8.
+	EWMALatency time.Duration
+}
+
+type member struct {
+	b *Breaker
+
+	mu sync.Mutex
+	h  Health
+}
+
+// Set tracks one Breaker plus passive Health per endpoint ID. Lookups for
+// unknown endpoints are admitted (a breaker exists only once an endpoint
+// has produced a response), so the hot path stays allocation-free until
+// there is something to track.
+type Set struct {
+	cfg BreakerConfig
+
+	mu sync.RWMutex
+	m  map[string]*member
+}
+
+// NewSet builds a breaker set with one shared configuration.
+func NewSet(cfg BreakerConfig) *Set {
+	return &Set{cfg: cfg.withDefaults(), m: make(map[string]*member)}
+}
+
+func (s *Set) lookup(id string) *member {
+	s.mu.RLock()
+	e := s.m[id]
+	s.mu.RUnlock()
+	return e
+}
+
+func (s *Set) getOrCreate(id string) *member {
+	if e := s.lookup(id); e != nil {
+		return e
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[id]; ok {
+		return e
+	}
+	e := &member{b: NewBreaker(s.cfg)}
+	s.m[id] = e
+	return e
+}
+
+// CanAttempt reports whether routing may consider endpoint id at time now
+// without reserving a probe. 0 allocs/op on the closed path.
+func (s *Set) CanAttempt(id string, now time.Time) bool {
+	e := s.lookup(id)
+	if e == nil {
+		return true
+	}
+	return e.b.CanAttempt(now)
+}
+
+// Acquire admits an attempt against endpoint id, reserving the half-open
+// probe slot when applicable. The caller must Record the outcome.
+func (s *Set) Acquire(id string, now time.Time) bool {
+	e := s.lookup(id)
+	if e == nil {
+		return true
+	}
+	return e.b.Allow(now)
+}
+
+// Record feeds one attempt outcome into the endpoint's breaker and
+// passive health.
+func (s *Set) Record(id string, now time.Time, latency time.Duration, ok bool) {
+	e := s.getOrCreate(id)
+	e.b.Record(now, ok)
+	e.mu.Lock()
+	if ok {
+		e.h.Successes++
+		e.h.ConsecutiveFailures = 0
+	} else {
+		e.h.Failures++
+		e.h.ConsecutiveFailures++
+		e.h.LastFailureAt = now
+	}
+	if latency > 0 {
+		if e.h.EWMALatency == 0 {
+			e.h.EWMALatency = latency
+		} else {
+			e.h.EWMALatency += (latency - e.h.EWMALatency) / 8
+		}
+	}
+	e.mu.Unlock()
+}
+
+// RetryAfter returns how long until the soonest open breaker admits a
+// probe (false when no breaker is open past now — e.g. all half-open).
+func (s *Set) RetryAfter(now time.Time) (time.Duration, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best time.Duration
+	found := false
+	for _, e := range s.m {
+		at := e.b.NextProbeAt()
+		if at.IsZero() {
+			continue
+		}
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		if !found || d < best {
+			best, found = d, true
+		}
+	}
+	return best, found
+}
+
+// StateCounts tallies breakers currently open and half-open (metrics).
+func (s *Set) StateCounts() (open, halfOpen int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.m {
+		switch e.b.State() {
+		case Open:
+			open++
+		case HalfOpen:
+			halfOpen++
+		}
+	}
+	return open, halfOpen
+}
+
+// Trips sums breaker trips across all endpoints.
+func (s *Set) Trips() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, e := range s.m {
+		n += e.b.Trips()
+	}
+	return n
+}
+
+// EndpointHealth is one endpoint's snapshot row.
+type EndpointHealth struct {
+	ID          string
+	State       State
+	NextProbeAt time.Time
+	Health      Health
+}
+
+// Snapshot returns per-endpoint state and health, sorted by ID.
+func (s *Set) Snapshot() []EndpointHealth {
+	s.mu.RLock()
+	out := make([]EndpointHealth, 0, len(s.m))
+	for id, e := range s.m {
+		e.mu.Lock()
+		h := e.h
+		e.mu.Unlock()
+		out = append(out, EndpointHealth{
+			ID: id, State: e.b.State(), NextProbeAt: e.b.NextProbeAt(), Health: h,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
