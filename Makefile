@@ -5,7 +5,7 @@ GO ?= go
 # (make fuzz FUZZTIME=60s).
 FUZZTIME ?= 3s
 
-.PHONY: all check fmt vet build test fuzz race chaos bench bench-diff federate-night autoscale-night livefed-night
+.PHONY: all check fmt vet build test fuzz race chaos calibrate bench bench-diff federate-night autoscale-night livefed-night
 
 all: check
 
@@ -71,8 +71,16 @@ federate-night:
 autoscale-night:
 	FIRST_AUTOSCALE_FULL=1 $(GO) test -run '^TestAutoScaleFullScale$$' -v -timeout 30m ./internal/experiments
 
+# calibrate runs the per-PR calibration gate: the short livefed cell live,
+# its executed schedule replayed into the DES twin, rung shares within
+# ±5 pts and the failover-vs-migration ratio within 2× — or the target fails.
+calibrate:
+	$(GO) test -short -run '^TestLiveFedCalibrationGate$$' -v ./internal/experiments
+
 # livefed-night regenerates the full live-chaos family (the nightly cells:
-# 2000- and 3000-request storms with their DES calibration twins) and prints
-# the outcome census + calibration tables the nightly CI job archives.
+# 2000- and 3000-request storms with their DES calibration twins), prints
+# the outcome census + calibration tables the nightly CI job archives, and
+# FAILS if any cell trips the tolerance gate — preserving the divergent
+# schedule under calib-artifacts/ for offline replay.
 livefed-night:
-	$(GO) run ./cmd/first-bench -exp livefed
+	$(GO) run ./cmd/first-bench -exp livefed -calib-out calib-artifacts

@@ -25,6 +25,7 @@ func main() {
 	jsonOut := flag.String("json-out", "", "explicit path for the JSON record (implies -json)")
 	diff := flag.Bool("diff", false, "compare the two newest BENCH_<n>.json records and exit 1 on perf regressions (skips the report)")
 	diffDir := flag.String("diff-dir", ".", "directory holding BENCH_<n>.json records for -diff")
+	calibOut := flag.String("calib-out", "", "directory to preserve divergent livefed schedules when the calibration gate trips (-exp livefed)")
 	flag.Parse()
 
 	if *diff {
@@ -64,7 +65,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -queue %q (want calendar or heap)\n", *queue)
 		os.Exit(2)
 	}
-	if err := experiments.ReportOn(os.Stdout, *exp, *seed, fleet); err != nil {
+	if *exp == "livefed" {
+		// livefed is the gated path: the report includes the sim-vs-real
+		// calibration table, and a tolerance-gate trip is a failing exit
+		// code (with the divergent schedule preserved under -calib-out).
+		if !experiments.RunLiveFedGateOn(os.Stdout, fleet, *seed, experiments.LiveFedCells, *calibOut) {
+			os.Exit(1)
+		}
+	} else if err := experiments.ReportOn(os.Stdout, *exp, *seed, fleet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -161,10 +161,32 @@
 // timing runs on a logical clock advanced per issued request. The
 // invariant under fire is zero lost requests: every request resolves as
 // success, failover-success, shed, or a typed client error, never a hang
-// or an untyped failure (make chaos gates this under the race detector). A
-// DES federation twin with matching churn tempo runs alongside, and the
-// report prints a sim-vs-real calibration table: rung shares, failover
-// pressure vs migration rate, and tail latency on both sides.
+// or an untyped failure (make chaos gates this under the race detector).
+//
+// Calibration methodology. Each live cell executes a single serializable
+// churn plan — a chaosnet.Schedule: endpoint kills, cold restarts, and
+// background GPU claims/releases keyed by request index, plus the fault
+// windows and the arrival rate measured during the live run — and the DES
+// federation twin replays that exact schedule (desmodel.ReplayParams).
+// Index time is the shared time base: the live driver fires every event
+// due at index i before issuing request i, and the twin's open-loop driver
+// calls ReplayAdvance(i) before arrival i. The twin routes with real
+// resilience.Breakers in the live gateway's configuration on the same
+// one-second-per-request logical clock, draws the same pure
+// Windows.Faulty(seed, index, endpoint, attempt) fault function, and
+// re-routes a faulted placement to the next ladder candidate — so twin
+// migrations-per-request is the DES name for the gateway's
+// failover-attempts-per-request. The comparison is then gated, not
+// eyeballed: every cell's live-vs-twin routing-rung shares must agree
+// within ±5 percentage points and the failover-vs-migration rates within a
+// 2× ratio (experiments.Calibrate; both sides under 0.01/req is vacuously
+// calibrated). The BENCH_<n>.json livefed block records the verdict
+// (c<N>_calib_pass, _calib_rung_gap_pts, _calib_rate_ratio) next to the
+// share columns, `make calibrate` enforces the gate per-PR on the short
+// cell, and `make livefed-night` fails the nightly sweep on any trip,
+// preserving the divergent cell's executed schedule under calib-artifacts/
+// — the schedule is the complete reproduction recipe, so the twin can be
+// re-run against it offline byte-for-byte.
 //
 // Experiments fan out: internal/experiments.Fleet runs the independent
 // cells of each figure/table (rate points, concurrency×window cells,
@@ -188,14 +210,22 @@
 // failing on >20% slowdowns or any extra allocations per op (experiment
 // walls and micro series record the fastest of three repetitions, so host
 // noise cannot fake a regression; with fewer than two records, e.g. a fork
-// checkout, the diff skips cleanly instead of failing). `make race` runs
+// checkout, the diff skips cleanly instead of failing). Records accumulate
+// one per session on whatever machine that session got, so thresholds are
+// normalized by per-class host-drift medians — experiment walls and micro
+// ns/op drift apart when a contended host inflates multi-ms walls without
+// slowing tight loops — and a timing series that regressed only against
+// the newest record, not the one before it, is treated as that record's
+// per-series outlier rather than a code regression (allocation counts,
+// being deterministic, are exempt from both defenses). `make race` runs
 // the tier-1 suite under the race detector; `make chaos` races the short
-// livefed storm; `make check` includes a brief fuzz pass over the
-// openaiapi request and SSE parsers. All four run as required CI jobs
+// livefed storm; `make calibrate` enforces the sim-vs-real tolerance gate
+// on the same cell; `make check` includes a brief fuzz pass over the
+// openaiapi request and SSE parsers. All five run as required CI jobs
 // (.github/workflows/ci.yml) — check on an {oldstable, stable} Go matrix
-// with module/build caching, bench records and the race/chaos logs
-// uploaded as artifacts — and a scheduled nightly job runs what is too
-// slow per-PR: 60 s of parser fuzzing, the full-scale federate and
-// autoscale determinism suites, and the full livefed chaos sweep with its
-// calibration tables.
+// with module/build caching, bench records and the race/chaos/calibrate
+// logs uploaded as artifacts — and a scheduled nightly job runs what is
+// too slow per-PR: 60 s of parser fuzzing, the full-scale federate and
+// autoscale determinism suites, and the full livefed chaos sweep, which
+// fails on any calibration-gate trip and uploads divergent schedules.
 package first

@@ -129,12 +129,7 @@ func Draw(seed, key uint64, attempt, lane uint32) float64 {
 }
 
 func draw(seed, key uint64, attempt, lane uint32) float64 {
-	x := seed ^ key ^ (uint64(attempt) << 32) ^ uint64(lane)
-	// splitmix64 finalizer
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	x ^= x >> 31
+	x := Mix(seed ^ key ^ (uint64(attempt) << 32) ^ uint64(lane))
 	return float64(x>>11) / float64(1<<53)
 }
 

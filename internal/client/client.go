@@ -394,7 +394,10 @@ func (c *Client) streamOnce(ctx context.Context, body []byte, onDelta func(strin
 	err = openaiapi.ReadSSE(resp.Body, func(data []byte) error {
 		var chunk openaiapi.StreamChunk
 		if err := json.Unmarshal(data, &chunk); err != nil {
-			return err
+			// A frame cut mid-JSON (chaosnet severs the stream anywhere,
+			// not only on frame boundaries) is a malformed body, not an
+			// anonymous parse error — callers classify on the sentinel.
+			return fmt.Errorf("%w: %v", ErrMalformedResponse, err)
 		}
 		for _, ch := range chunk.Choices {
 			if ch.Delta != nil && ch.Delta.Content != "" {

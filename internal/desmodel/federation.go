@@ -82,6 +82,13 @@ type FederationParams struct {
 	BGStagger  time.Duration
 	BGWalltime time.Duration
 	BGGPUs     int
+
+	// Replay, when set, drives all churn from a recorded live schedule
+	// instead of the self-scheduled tempo above (see replay.go). Pools are
+	// pre-started like a live boot, demand-driven cold starts are off, and
+	// kills/restarts/background claims fire at the replayed request
+	// indices via ReplayAdvance.
+	Replay *ReplayParams
 }
 
 // DefaultFederationModels returns the served model mix: two 4-GPU models and
@@ -239,6 +246,8 @@ type Federation struct {
 	clusters []*fedCluster
 	scratch  []federation.EndpointInfo
 
+	replay *fedReplay
+
 	rungs      FedRungs
 	migrations int64
 	// arrivals/completions are the conservation counters the property suite
@@ -361,6 +370,18 @@ func newFederation(k *sim.Kernel, p FederationParams, newEngine func(perfmodel.M
 			c.armScaler()
 		}
 	}
+	if p.Replay != nil {
+		f.replay = newFedReplay(f, *p.Replay)
+		// A live system boots with MinInstances:1 per deployment; the twin
+		// matches by pre-starting every pool at t=0 instead of cold-starting
+		// on first demand. After boot, only replayed restart events revive a
+		// killed pool.
+		for _, c := range f.clusters {
+			for _, d := range c.deps {
+				d.startInstance()
+			}
+		}
+	}
 	return f
 }
 
@@ -400,6 +421,10 @@ func (f *Federation) Arrive(r *Req) {
 // route applies the real federation.Select priority ladder over live
 // snapshots of every cluster's deployment and inventory state.
 func (f *Federation) route(r *Req) {
+	if f.replay != nil {
+		f.routeReplay(r)
+		return
+	}
 	m := r.Model
 	n := len(f.clusters)
 	spec := &f.p.Models[m]
@@ -497,7 +522,10 @@ func (d *fedDep) offer(r *Req) {
 		return
 	}
 	d.pending = append(d.pending, r)
-	if len(d.insts) == 0 {
+	if len(d.insts) == 0 && d.f.replay == nil {
+		// Under replay, a dead pool revives only at its scheduled restart
+		// event — a demand-driven cold start here would self-heal faster
+		// than the live system it is calibrated against.
 		d.startInstance()
 	}
 }
@@ -653,7 +681,10 @@ func (in *fedInstance) onJobEnd(j *scheduler.Job, terminal scheduler.State) {
 	d := in.d
 	f := d.f
 	spec := f.p.Models[d.model]
-	hardKill := terminal == scheduler.TimedOut
+	// TimedOut is the walltime timer firing on a live batch; Failed is a
+	// replayed kill event through scheduler.Fail. Both die hard: waiting,
+	// running, and undelivered work is orphaned and must migrate.
+	hardKill := terminal == scheduler.TimedOut || terminal == scheduler.Failed
 	in.state = instDead
 	in.job = nil
 	var orphans []*Req

@@ -2,7 +2,9 @@ package experiments
 
 // Bench-regression gate: `make bench-diff` compares the two newest
 // BENCH_<n>.json perf records and fails when the substrate got slower —
-// the ROADMAP's perf-trajectory automation item.
+// the ROADMAP's perf-trajectory automation item. Cross-host comparability
+// comes from two defenses: per-class host-drift normalization (HostDrifts)
+// and a third-newest-record outlier check (vetoOutlierTimings).
 
 import (
 	"encoding/json"
@@ -36,42 +38,40 @@ const nsAbsToleranceNs = 5.0
 const allocAbsTolerance = 0.5
 
 // hostDriftMinSeries is the number of timing series two records must share
-// before the host-drift estimate engages; below it the sample is too small
-// for a median to mean anything and the factor stays 1.
+// before the pooled host-drift estimate engages; below it the sample is too
+// small for a median to mean anything and the factor stays 1.
 const hostDriftMinSeries = 6
+
+// hostDriftMinClassSeries is the per-class (experiment walls vs micro
+// ns/op) threshold: with at least this many ratios inside one class, the
+// class gets its own median instead of the pooled one.
+const hostDriftMinClassSeries = 4
 
 // hostDriftMax caps the drift correction at 2× — if the records claim the
 // host halved in speed, something other than CPU drift is going on and the
 // gate should stay loud rather than absorb it.
 const hostDriftMax = 2.0
 
-// HostDrift estimates how much slower the current record's host was than
-// the previous record's, as the median cur/prev ratio over every timing
-// series the two records share (experiment walls and micro ns/op). The
-// records in a repository accumulate across sessions and machines, so raw
-// wall comparison conflates "the code got slower" with "the recording host
-// was slower"; the median over many independent series isolates the latter
-// — a genuine code regression moves its own series, not the median of all
-// of them. The estimate is floored at 1 (never tightened): several walls
-// are sleep-granularity-bound rather than CPU-bound and do not speed up
-// with a faster host, so only slowdown is safe to normalize away. Returns
-// 1 when fewer than hostDriftMinSeries series are shared; capped at
-// hostDriftMax.
-func HostDrift(prev, cur BenchRecord) float64 {
-	var ratios []float64
+// driftRatios collects the cur/prev ratios of the two timing classes the
+// records share: experiment walls and micro ns/op.
+func driftRatios(prev, cur BenchRecord) (walls, micros []float64) {
 	for name, p := range prev.Experiments {
 		if c, ok := cur.Experiments[name]; ok && p.WallMS > 0 {
-			ratios = append(ratios, c.WallMS/p.WallMS)
+			walls = append(walls, c.WallMS/p.WallMS)
 		}
 	}
 	for name, p := range prev.Micro {
 		if c, ok := cur.Micro[name]; ok && p.NsPerOp > 0 {
-			ratios = append(ratios, c.NsPerOp/p.NsPerOp)
+			micros = append(micros, c.NsPerOp/p.NsPerOp)
 		}
 	}
-	if len(ratios) < hostDriftMinSeries {
-		return 1
-	}
+	return walls, micros
+}
+
+// driftMedian is the shared estimator core: the median ratio, floored at 1
+// (sleep-granularity-bound walls do not speed up with a faster host, so
+// only slowdown is safe to normalize away) and capped at hostDriftMax.
+func driftMedian(ratios []float64) float64 {
 	sort.Float64s(ratios)
 	drift := ratios[len(ratios)/2]
 	if len(ratios)%2 == 0 {
@@ -84,6 +84,48 @@ func HostDrift(prev, cur BenchRecord) float64 {
 		return hostDriftMax
 	}
 	return drift
+}
+
+// HostDrift estimates how much slower the current record's host was than
+// the previous record's, as the median cur/prev ratio pooled over every
+// timing series the two records share. The records in a repository
+// accumulate across sessions and machines, so raw wall comparison conflates
+// "the code got slower" with "the recording host was slower"; the median
+// over many independent series isolates the latter — a genuine code
+// regression moves its own series, not the median of all of them. Returns 1
+// when fewer than hostDriftMinSeries series are shared.
+func HostDrift(prev, cur BenchRecord) float64 {
+	walls, micros := driftRatios(prev, cur)
+	pooled := append(walls, micros...)
+	if len(pooled) < hostDriftMinSeries {
+		return 1
+	}
+	return driftMedian(pooled)
+}
+
+// HostDrifts estimates drift per timing class. One host-speed scalar is not
+// enough when a shared machine is contended: micro ns/op track raw CPU
+// speed (tight single-threaded loops), while multi-millisecond experiment
+// walls absorb scheduler steal and sleep-granularity noise, so the two
+// classes routinely drift apart — and a pooled median then sits with
+// whichever class has more series, leaving the other class's thresholds
+// effectively unnormalized. Each class therefore gets its own median when
+// it has hostDriftMinClassSeries ratios, falling back to the pooled
+// estimate below that.
+func HostDrifts(prev, cur BenchRecord) (wall, micro float64) {
+	walls, micros := driftRatios(prev, cur)
+	pooled := 1.0
+	if all := append(append([]float64{}, walls...), micros...); len(all) >= hostDriftMinSeries {
+		pooled = driftMedian(all)
+	}
+	wall, micro = pooled, pooled
+	if len(walls) >= hostDriftMinClassSeries {
+		wall = driftMedian(walls)
+	}
+	if len(micros) >= hostDriftMinClassSeries {
+		micro = driftMedian(micros)
+	}
+	return wall, micro
 }
 
 // BenchRegression is one flagged series.
@@ -105,15 +147,15 @@ func (r BenchRegression) String() string {
 
 // DiffBench flags regressions from prev to cur: any experiment whose
 // regeneration wall time or any micro-benchmark whose ns/op grew past the
-// threshold — after dividing out the HostDrift estimate, so a record taken
-// on a slower machine is compared in that machine's units — and any
-// micro-benchmark that allocates more per op than before (allocation
-// counts are deterministic and host-independent, so they get no drift
-// correction and no tolerance: the data plane is pinned at its budget).
-// Series missing from either record are skipped, so v1 records without a
-// micro section still diff.
+// threshold — after dividing out that class's HostDrifts estimate, so a
+// record taken on a slower machine is compared in that machine's units —
+// and any micro-benchmark that allocates more per op than before
+// (allocation counts are deterministic and host-independent, so they get
+// no drift correction and no tolerance: the data plane is pinned at its
+// budget). Series missing from either record are skipped, so v1 records
+// without a micro section still diff.
 func DiffBench(prev, cur BenchRecord) []BenchRegression {
-	drift := HostDrift(prev, cur)
+	wallDrift, microDrift := HostDrifts(prev, cur)
 	var regs []BenchRegression
 	for _, name := range sortedKeys(prev.Experiments) {
 		p := prev.Experiments[name]
@@ -121,7 +163,7 @@ func DiffBench(prev, cur BenchRecord) []BenchRegression {
 		if !ok || p.WallMS <= 0 {
 			continue
 		}
-		base := p.WallMS * drift
+		base := p.WallMS * wallDrift
 		if c.WallMS > base*(1+WallRegressionThreshold) && c.WallMS-base > wallAbsToleranceMS {
 			regs = append(regs, BenchRegression{Series: "experiments/" + name + " wall_ms", Prev: p.WallMS, Cur: c.WallMS})
 		}
@@ -132,7 +174,7 @@ func DiffBench(prev, cur BenchRecord) []BenchRegression {
 		if !ok {
 			continue
 		}
-		base := p.NsPerOp * drift
+		base := p.NsPerOp * microDrift
 		if p.NsPerOp > 0 && c.NsPerOp > base*(1+WallRegressionThreshold) && c.NsPerOp-base > nsAbsToleranceNs {
 			regs = append(regs, BenchRegression{Series: "micro/" + name + " ns_per_op", Prev: p.NsPerOp, Cur: c.NsPerOp})
 		}
@@ -195,13 +237,52 @@ func BenchPaths(dir string) ([]string, error) {
 	return paths, nil
 }
 
-// DiffLatest diffs the two newest records in dir. With fewer than two
-// records — a fork's shallow checkout carrying only one, or a fresh tree
-// with none — there is nothing to compare and the diff is skipped, not
-// failed: skipped is true and the notice says what to do about it. A
-// missing directory stays an error: that is a mistyped -diff-dir or the
-// wrong working directory, and a silent pass there would green-light the
-// gate while comparing nothing.
+// vetoOutlierTimings drops flagged timing series that do not also regress
+// against the second-newest baseline. Records accumulate one per session on
+// whatever machine that session got, so a single series in the newest
+// baseline can be anomalously fast (a lucky scheduling window) without the
+// record-wide drift medians noticing — and every successor then fails that
+// series forever. A real code regression is slower than *both* baselines;
+// only timing series are vetoed (allocation counts are deterministic, so a
+// prev-only alloc regression means the previous PR improved the budget and
+// this one gave it back — that must stay loud). A series the older
+// baseline does not carry cannot veto: it stays flagged.
+func vetoOutlierTimings(regs []BenchRegression, prev2, cur BenchRecord) (kept []BenchRegression, suppressed int) {
+	flagged2 := make(map[string]bool)
+	for _, r := range DiffBench(prev2, cur) {
+		flagged2[r.Series] = true
+	}
+	has := func(series string) bool {
+		if name, ok := strings.CutSuffix(series, " wall_ms"); ok {
+			p, ok := prev2.Experiments[strings.TrimPrefix(name, "experiments/")]
+			return ok && p.WallMS > 0
+		}
+		if name, ok := strings.CutSuffix(series, " ns_per_op"); ok {
+			p, ok := prev2.Micro[strings.TrimPrefix(name, "micro/")]
+			return ok && p.NsPerOp > 0
+		}
+		return false // allocs_per_op: never vetoed
+	}
+	for _, r := range regs {
+		if !flagged2[r.Series] && has(r.Series) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept, suppressed
+}
+
+// DiffLatest diffs the two newest records in dir, consulting the third-
+// newest (when present) as an outlier check: a timing series that regressed
+// only against the newest baseline — not against the one before it — marks
+// that baseline as anomalously fast for the series, not the code as slower.
+// With fewer than two records — a fork's shallow checkout carrying only
+// one, or a fresh tree with none — there is nothing to compare and the diff
+// is skipped, not failed: skipped is true and the notice says what to do
+// about it. A missing directory stays an error: that is a mistyped
+// -diff-dir or the wrong working directory, and a silent pass there would
+// green-light the gate while comparing nothing.
 func DiffLatest(dir string) (regs []BenchRegression, notice string, skipped bool, err error) {
 	paths, err := BenchPaths(dir)
 	if os.IsNotExist(err) {
@@ -223,8 +304,21 @@ func DiffLatest(dir string) (regs []BenchRegression, notice string, skipped bool
 		return nil, "", false, err
 	}
 	notice = fmt.Sprintf("comparing %s -> %s", filepath.Base(prevPath), filepath.Base(curPath))
-	if drift := HostDrift(prev, cur); drift > 1 {
-		notice += fmt.Sprintf(" (host-speed drift ×%.2f — median over shared timing series; thresholds normalized)", drift)
+	if wall, micro := HostDrifts(prev, cur); wall > 1 || micro > 1 {
+		notice += fmt.Sprintf(" (host-speed drift ×%.2f walls, ×%.2f micros — class medians over shared series; thresholds normalized)", wall, micro)
 	}
-	return DiffBench(prev, cur), notice, false, nil
+	regs = DiffBench(prev, cur)
+	if len(regs) > 0 && len(paths) >= 3 {
+		prev2, err := ReadBench(paths[len(paths)-3])
+		if err != nil {
+			return nil, "", false, err
+		}
+		var suppressed int
+		regs, suppressed = vetoOutlierTimings(regs, prev2, cur)
+		if suppressed > 0 {
+			notice += fmt.Sprintf("\n%d timing series regressed vs %s but not vs %s — treated as per-series outliers in the newer baseline, not regressions",
+				suppressed, filepath.Base(prevPath), filepath.Base(paths[len(paths)-3]))
+		}
+	}
+	return regs, notice, false, nil
 }

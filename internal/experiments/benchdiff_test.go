@@ -122,6 +122,67 @@ func TestHostDriftNeverTightensAndIsCapped(t *testing.T) {
 	}
 }
 
+// recNM builds a record with n experiment walls (100 ms base) and m micro
+// series (100 ns base), each scaled by its class factor — the heterogeneous-
+// drift fixture: a contended host inflates multi-ms walls (scheduler steal)
+// without slowing tight single-threaded ns loops.
+func recNM(n, m int, wallF, microF func(i int) float64) BenchRecord {
+	rec := recN(n, wallF)
+	rec.Micro = make(map[string]MicroBench, m)
+	for i := 0; i < m; i++ {
+		rec.Micro[fmt.Sprintf("micro%d", i)] = MicroBench{NsPerOp: 100 * microF(i)}
+	}
+	return rec
+}
+
+func TestHostDriftsPerClass(t *testing.T) {
+	one := func(int) float64 { return 1 }
+	prev := recNM(8, 8, one, one)
+	// Walls 1.6× slower, micros flat: the pooled median (~1.3) would leave
+	// the walls effectively unnormalized and flag all eight.
+	cur := recNM(8, 8, func(int) float64 { return 1.6 }, one)
+	wall, micro := HostDrifts(prev, cur)
+	if wall < 1.59 || wall > 1.61 {
+		t.Errorf("wall drift = %v, want ~1.6", wall)
+	}
+	if micro != 1 {
+		t.Errorf("micro drift = %v, want 1", micro)
+	}
+	if regs := DiffBench(prev, cur); len(regs) != 0 {
+		t.Errorf("uniform wall-class slowdown flagged: %v", regs)
+	}
+	// The same storm with one wall genuinely doubled: the wall-class median
+	// absorbs the contention and exp0 still trips.
+	cur = recNM(8, 8, func(i int) float64 {
+		if i == 0 {
+			return 3.2
+		}
+		return 1.6
+	}, one)
+	regs := DiffBench(prev, cur)
+	if len(regs) != 1 || regs[0].Series != "experiments/exp0 wall_ms" {
+		t.Errorf("regs = %v, want exactly the exp0 flag", regs)
+	}
+	// And the mirror case: micros slow (thermal throttle), walls flat
+	// (sleep-bound) — a micro-only slowdown must not flag every micro.
+	cur = recNM(8, 8, one, func(int) float64 { return 1.6 })
+	if regs := DiffBench(prev, cur); len(regs) != 0 {
+		t.Errorf("uniform micro-class slowdown flagged: %v", regs)
+	}
+}
+
+func TestHostDriftsFallsBackPooled(t *testing.T) {
+	// Below the per-class minimum the class borrows the pooled median: two
+	// micro series can't carry their own estimate, but walls + micros
+	// together can.
+	one := func(int) float64 { return 1 }
+	up := func(int) float64 { return 1.5 }
+	wall, micro := HostDrifts(recNM(8, 2, one, one), recNM(8, 2, up, up))
+	if wall < 1.49 || wall > 1.51 || micro < 1.49 || micro > 1.51 {
+		t.Errorf("drifts = %v, %v, want both ~1.5 (micro pooled)", wall, micro)
+	}
+}
+
 func TestDiffBenchAllocGateIgnoresDrift(t *testing.T) {
 	// Even under heavy host drift, one extra allocation per op still fails:
 	// allocation counts are deterministic and get no normalization.
@@ -190,6 +251,82 @@ func TestDiffLatest(t *testing.T) {
 	}
 	if len(regs) != 1 {
 		t.Errorf("regs = %v (notice %q)", regs, notice)
+	}
+}
+
+// writeRecs writes recs to dir as BENCH_1.json, BENCH_2.json, ...
+func writeRecs(t *testing.T, dir string, recs ...BenchRecord) {
+	t.Helper()
+	for i, r := range recs {
+		if err := WriteBench(r, filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiffLatestVetoesSingleRecordOutlier(t *testing.T) {
+	// The newest baseline caught an anomalously fast scheduling window for
+	// fig3 (60 ms vs the 100 ms the series has always cost): the current
+	// record's 100 ms is a +67% "regression" against it but dead-on against
+	// the record before — an outlier in the baseline, not slower code.
+	dir := t.TempDir()
+	writeRecs(t, dir, recWith(100, 10, 0), recWith(60, 10, 0), recWith(100, 10, 0))
+	regs, notice, _, err := DiffLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("outlier-baseline regs = %v, want none", regs)
+	}
+	if !strings.Contains(notice, "outlier") {
+		t.Errorf("notice %q does not explain the suppression", notice)
+	}
+}
+
+func TestDiffLatestVetoKeepsRealRegression(t *testing.T) {
+	// Slower than both baselines: that is the code, and the veto must not
+	// soften it.
+	dir := t.TempDir()
+	writeRecs(t, dir, recWith(100, 10, 0), recWith(100, 10, 0), recWith(150, 10, 0))
+	regs, _, _, err := DiffLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Series != "experiments/fig3 wall_ms" {
+		t.Errorf("regs = %v, want the wall flag kept", regs)
+	}
+}
+
+func TestDiffLatestVetoNeverSuppressesAllocs(t *testing.T) {
+	// Allocation counts are deterministic: prev having fewer allocs than
+	// prev2 means the previous PR earned that budget, and giving it back is
+	// a real regression even though it matches the older record.
+	dir := t.TempDir()
+	writeRecs(t, dir, recWith(100, 10, 2), recWith(100, 10, 0), recWith(100, 10, 2))
+	regs, _, _, err := DiffLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Series != "micro/kernel_event allocs_per_op" {
+		t.Errorf("regs = %v, want the allocs flag kept", regs)
+	}
+}
+
+func TestDiffLatestVetoRequiresOlderBaselineSeries(t *testing.T) {
+	// A series the older record does not carry (added by the previous PR)
+	// has only one baseline; absence from prev2 must not read as "did not
+	// regress there".
+	dir := t.TempDir()
+	old := recWith(100, 10, 0)
+	delete(old.Experiments, "fig3")
+	old.Experiments["other"] = BenchExperiment{WallMS: 100}
+	writeRecs(t, dir, old, recWith(100, 10, 0), recWith(150, 10, 0))
+	regs, _, _, err := DiffLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Series != "experiments/fig3 wall_ms" {
+		t.Errorf("regs = %v, want the new-series wall flag kept", regs)
 	}
 }
 

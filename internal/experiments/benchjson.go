@@ -211,6 +211,15 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 			if r.Sim.Offered > 0 {
 				m[key+"_sim_migrations_per_req"] = float64(r.Sim.Migrations) / float64(r.Sim.Offered)
 			}
+			// Tolerance gate verdict (±CalibRungTolerancePts on rung shares,
+			// CalibRateRatioMax on the re-route ratio): 1 = calibrated.
+			cal := r.Calibrate()
+			m[key+"_calib_pass"] = 0
+			if cal.Pass {
+				m[key+"_calib_pass"] = 1
+			}
+			m[key+"_calib_rung_gap_pts"] = cal.RungGapPts
+			m[key+"_calib_rate_ratio"] = cal.RateRatio
 		}
 		return m
 	})

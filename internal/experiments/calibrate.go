@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The calibration gate turns the live-vs-twin comparison from a table humans
+// eyeball into a pass/fail contract: if the DES twin replaying the live
+// cell's executed schedule lands outside tolerance, the nightly job fails
+// and the divergent schedule is preserved as an artifact for replay.
+
+// Calibration tolerances. The rung-share tolerance is in percentage points
+// over the three routing rungs; the rate ratio bounds live
+// failover-attempts-per-request against twin migrations-per-request (the two
+// sides' names for the same re-route event).
+const (
+	CalibRungTolerancePts = 5.0
+	CalibRateRatioMax     = 2.0
+)
+
+// Calibration is one cell's gate verdict.
+type Calibration struct {
+	// RungGapPts is the largest absolute live-vs-sim gap across the three
+	// rung shares (active / capacity / first-configured), in points.
+	RungGapPts float64 `json:"rung_gap_pts"`
+	// LiveFailoverPerReq is gateway failover attempts per issued request.
+	LiveFailoverPerReq float64 `json:"live_failover_per_req"`
+	// SimMigrationsPerReq is twin migrations per offered request.
+	SimMigrationsPerReq float64 `json:"sim_migrations_per_req"`
+	// RateRatio is max/min of the two rates above (1 = identical). When both
+	// are under 0.01 the storm produced too few re-routes to compare and the
+	// ratio is defined as 1.
+	RateRatio float64 `json:"rate_ratio"`
+
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Calibrate gates the row's live census against its DES twin.
+func (r LiveFedRow) Calibrate() Calibration {
+	la, lc, lf := rungShares(r.RungActive, r.RungCapacity, r.RungFirstConf)
+	sa, sc, sf := rungShares(r.Sim.Rungs.Active, r.Sim.Rungs.Capacity, r.Sim.Rungs.FirstConf)
+	cal := Calibration{}
+	for _, gap := range []float64{la - sa, lc - sc, lf - sf} {
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > cal.RungGapPts {
+			cal.RungGapPts = gap
+		}
+	}
+	if r.Requests > 0 {
+		cal.LiveFailoverPerReq = float64(r.FailoverAttempts) / float64(r.Requests)
+	}
+	if r.Sim.Offered > 0 {
+		cal.SimMigrationsPerReq = float64(r.Sim.Migrations) / float64(r.Sim.Offered)
+	}
+	cal.RateRatio = rateRatio(cal.LiveFailoverPerReq, cal.SimMigrationsPerReq)
+
+	cal.Pass = true
+	if cal.RungGapPts > CalibRungTolerancePts {
+		cal.Pass = false
+		cal.Violations = append(cal.Violations, fmt.Sprintf(
+			"rung share gap %.2f pts exceeds ±%.1f (live %.2f/%.2f/%.2f vs sim %.2f/%.2f/%.2f)",
+			cal.RungGapPts, CalibRungTolerancePts, la, lc, lf, sa, sc, sf))
+	}
+	if cal.RateRatio > CalibRateRatioMax {
+		cal.Pass = false
+		cal.Violations = append(cal.Violations, fmt.Sprintf(
+			"failover-vs-migration ratio %.2fx exceeds %.1fx (live %.4f/req vs sim %.4f/req)",
+			cal.RateRatio, CalibRateRatioMax, cal.LiveFailoverPerReq, cal.SimMigrationsPerReq))
+	}
+	return cal
+}
+
+// rateRatio is max/min of two per-request rates. Two storms too quiet to
+// re-route anything (both under 0.01/req) are vacuously calibrated: the
+// ratio of two near-zero noise terms carries no signal.
+func rateRatio(a, b float64) float64 {
+	if a < 0.01 && b < 0.01 {
+		return 1
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo <= 0 {
+		// One side re-routed, the other never did: infinitely divergent, but
+		// keep the value finite and clearly past any sane tolerance.
+		return 1000
+	}
+	return hi / lo
+}
+
+// CalibrateAll gates every row; ok is true only if every cell passes.
+func CalibrateAll(rows []LiveFedRow) (cals []Calibration, ok bool) {
+	ok = true
+	for _, r := range rows {
+		cal := r.Calibrate()
+		if !cal.Pass {
+			ok = false
+		}
+		cals = append(cals, cal)
+	}
+	return cals, ok
+}
+
+// WriteCalibArtifact preserves a divergent cell for offline replay: the
+// executed schedule (canonical JSON, replayable into the DES twin verbatim)
+// plus the gate verdict. Returns the schedule path.
+func WriteCalibArtifact(dir string, r LiveFedRow, cal Calibration) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	base := fmt.Sprintf("livefed_c%d_r%d", r.Clusters, r.Requests)
+	schedPath := filepath.Join(dir, base+"_schedule.json")
+	if err := r.Schedule.WriteFile(schedPath); err != nil {
+		return "", err
+	}
+	verdict, err := calJSON(cal)
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+"_verdict.json"), verdict, 0o644); err != nil {
+		return "", err
+	}
+	return schedPath, nil
+}
+
+// RunLiveFedGateOn runs the cells live, replays each executed schedule into
+// its DES twin, prints the calibration report, and enforces the tolerance
+// gate. Divergent cells' schedules are preserved under artifactDir (when
+// set) so the exact storm can be replayed offline. Returns false on any
+// gate trip — `make livefed-night` turns that into a failing exit code.
+func RunLiveFedGateOn(w io.Writer, f Fleet, seed int64, cells []LiveFedCell, artifactDir string) bool {
+	rows := RunLiveFedCellsOn(f, seed, cells)
+	ReportLiveFed(w, rows)
+	cals, ok := CalibrateAll(rows)
+	if ok {
+		fmt.Fprintln(w, "calibration gate: PASS (all cells)")
+		return true
+	}
+	for i, cal := range cals {
+		if cal.Pass {
+			continue
+		}
+		fmt.Fprintf(w, "calibration gate: FAIL c%d: %v\n", rows[i].Clusters, cal.Violations)
+		if artifactDir == "" {
+			continue
+		}
+		if path, err := WriteCalibArtifact(artifactDir, rows[i], cal); err != nil {
+			fmt.Fprintf(w, "  artifact write failed: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "  divergent schedule preserved: %s\n", path)
+		}
+	}
+	return false
+}
+
+func calJSON(cal Calibration) ([]byte, error) {
+	data, err := json.MarshalIndent(cal, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -4,7 +4,10 @@ import (
 	"sort"
 	"time"
 
+	"github.com/argonne-first/first/internal/chaosnet"
 	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
 	"github.com/argonne-first/first/internal/sim"
 	"github.com/argonne-first/first/internal/workload"
 )
@@ -32,6 +35,19 @@ type FederateCell struct {
 	ServeWalltimeS int
 	DrainGraceS    int
 	BGPeriodS      int
+
+	// Replay turns the cell into a live-storm calibration twin: all churn
+	// comes from the recorded schedule (kills, cold restarts, background
+	// GPU claims at the live request indices), the single live model is
+	// served on the live inventory, and the self-scheduled tempo above is
+	// off. Breaker and MaxAttempts mirror the live gateway so avoidance
+	// and failover budgets match.
+	Replay          *chaosnet.Schedule
+	ReplayModel     string
+	NodesPerCluster int
+	GPUsPerNode     int
+	Breaker         resilience.BreakerConfig
+	MaxAttempts     int
 }
 
 // params resolves the cell's federation parameters.
@@ -47,6 +63,22 @@ func (c FederateCell) params() desmodel.FederationParams {
 		p.BGPeriod = time.Duration(c.BGPeriodS) * time.Second
 		p.BGStagger = p.BGPeriod / 5
 		p.BGWalltime = p.BGPeriod * 2 / 3
+	}
+	if c.Replay != nil {
+		p.Models = []perfmodel.ModelSpec{perfmodel.Default.MustLookup(c.ReplayModel)}
+		p.NodesPerCluster = c.NodesPerCluster
+		p.GPUsPerNode = c.GPUsPerNode
+		// Walltime churn and periodic background jobs are the replayed
+		// schedule's job now; the self-scheduled tempo would double-count
+		// them. The serve walltime just needs to outlive any horizon.
+		p.ServeWalltime = 100_000_000 * time.Second
+		p.DrainGrace = time.Second
+		p.BGPeriod = 0
+		p.Replay = &desmodel.ReplayParams{
+			Schedule:    *c.Replay,
+			Breaker:     c.Breaker,
+			MaxAttempts: c.MaxAttempts,
+		}
 	}
 	return p
 }
@@ -94,6 +126,9 @@ type FederateRow struct {
 	UtilMaxPct  float64
 	// SchedQueuedPeak is the deepest scheduler queue across clusters.
 	SchedQueuedPeak int
+	// ReplayTrips counts twin breaker trips under a replayed schedule
+	// (calibration column against the live gateway's trip count).
+	ReplayTrips int64
 }
 
 // federateEventBudget aborts a runaway cell: background jobs self-schedule
@@ -152,6 +187,10 @@ func federateOpen(a *desmodel.Arena, c FederateCell, seed int64) FederateRow {
 		pt, ot := spec.SampleLengths(rng)
 		r := &desmodel.Req{ID: idx + 1, PromptTok: pt, OutputTok: ot, Model: rng.Intn(models)}
 		reqs[idx] = r
+		// Under replay this fires the schedule's churn events due at this
+		// index before the arrival routes — the same ordering the live
+		// driver uses (kill/restart/claim, then issue). No-op otherwise.
+		sys.ReplayAdvance(idx)
 		sys.Arrive(r)
 		idx++
 		if idx < n {
@@ -184,12 +223,13 @@ func federateWebUI(a *desmodel.Arena, c FederateCell, seed int64) FederateRow {
 
 func federateRow(sys *desmodel.Federation, c FederateCell, mode string, offered int, reqs []*desmodel.Req, end sim.Time) FederateRow {
 	row := FederateRow{
-		Clusters:   c.Clusters,
-		Mode:       mode,
-		Offered:    offered,
-		M:          desmodel.Collect(reqs),
-		Rungs:      sys.Rungs(),
-		Migrations: sys.Migrations(),
+		Clusters:    c.Clusters,
+		Mode:        mode,
+		Offered:     offered,
+		M:           desmodel.Collect(reqs),
+		Rungs:       sys.Rungs(),
+		Migrations:  sys.Migrations(),
+		ReplayTrips: sys.ReplayBreakerTrips(),
 	}
 	var migrated []float64
 	for _, r := range reqs {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -21,6 +23,7 @@ import (
 	"github.com/argonne-first/first/internal/openaiapi"
 	"github.com/argonne-first/first/internal/perfmodel"
 	"github.com/argonne-first/first/internal/resilience"
+	"github.com/argonne-first/first/internal/scheduler"
 )
 
 // The livefed family puts the LIVE stack — real client SDK, chaosnet
@@ -51,37 +54,53 @@ type LiveFedCell struct {
 	// PUnauthorized is the endpoint-side credential-rejection lane: the
 	// gateway reacts by rechecking its token cache, not failing over.
 	PUnauthorized float64
-	// KillAt / RestartAt are request indices at which the victim endpoint
-	// (index 1) is killed (deployment torn down, in-flight work dies) and
-	// cold-restarted through the real scheduler. 0 = never.
-	KillAt    int
-	RestartAt int
+	// Kill churn: every KillEvery request indices the next victim endpoint
+	// (rotating, starting at endpoint 1) is killed — deployment torn down,
+	// in-flight work dies — and cold-restarted through the real scheduler
+	// KillDownFor indices later. KillDownFor > KillEvery overlaps windows
+	// so the model goes briefly cold everywhere (the ROADMAP's "more than
+	// one victim, multiple expiries mid-run"). A kill whose victim is
+	// still down, or whose restart would land past the trace, is skipped.
+	// 0 disables.
+	KillEvery   int
+	KillDownFor int
+	// Background contention: every BGEvery indices a science job claims
+	// BGGPUs on the rotating cluster, released BGHoldFor indices later —
+	// live GPU exhaustion so the ladder's capacity rung goes honest.
+	BGEvery   int
+	BGGPUs    int
+	BGHoldFor int
 	// Concurrency drives requests from this many goroutines. 1 (or 0)
 	// keeps the outcome schedule deterministic; the chaos race test uses
 	// >1 to exercise mid-flight kills.
 	Concurrency int
 }
 
-// LiveFedCells is the nightly full storm.
+// LiveFedCells is the nightly full storm: overlapping kill windows leave
+// the model briefly cold everywhere, and rolling background claims exhaust
+// GPU capacity, so every rung of the ladder genuinely fires live.
 var LiveFedCells = []LiveFedCell{
 	{Clusters: 2, Requests: 2000, StreamEvery: 5, MaxAttempts: 3,
 		Net:           chaosnet.Config{PRefuse: 0.02, P5xx: 0.02, RetryAfter: time.Second, PCutStream: 0.03, CutAfterBytes: 48},
 		Faults:        chaosnet.Windows{BurstEvery: 200, BurstLen: 40, PFault: 0.85, PBackground: 0.01},
-		PUnauthorized: 0.005, KillAt: 600, RestartAt: 1200},
+		PUnauthorized: 0.005, KillEvery: 400, KillDownFor: 500,
+		BGEvery: 500, BGGPUs: 12, BGHoldFor: 300},
 	{Clusters: 4, Requests: 3000, StreamEvery: 5, MaxAttempts: 3,
 		Net:           chaosnet.Config{PRefuse: 0.02, P5xx: 0.02, RetryAfter: time.Second, PCutStream: 0.03, CutAfterBytes: 48},
 		Faults:        chaosnet.Windows{BurstEvery: 250, BurstLen: 50, PFault: 0.85, PBackground: 0.01},
-		PUnauthorized: 0.005, KillAt: 900, RestartAt: 1800},
+		PUnauthorized: 0.005, KillEvery: 350, KillDownFor: 450,
+		BGEvery: 600, BGGPUs: 12, BGHoldFor: 350},
 }
 
 // LiveFedCellsShort is the per-PR cell: small enough for the differential
-// suite and `make chaos`, still covering every fault kind plus a kill and
-// cold restart mid-run.
+// suite and `make chaos`, still covering every fault kind plus multiple
+// kills, cold restarts, and background GPU claims mid-run.
 var LiveFedCellsShort = []LiveFedCell{
 	{Clusters: 2, Requests: 600, StreamEvery: 5, MaxAttempts: 3,
 		Net:           chaosnet.Config{PRefuse: 0.02, P5xx: 0.02, RetryAfter: time.Second, PCutStream: 0.03, CutAfterBytes: 48},
 		Faults:        chaosnet.Windows{BurstEvery: 100, BurstLen: 20, PFault: 0.85, PBackground: 0.01},
-		PUnauthorized: 0.005, KillAt: 200, RestartAt: 400},
+		PUnauthorized: 0.005, KillEvery: 150, KillDownFor: 180,
+		BGEvery: 200, BGGPUs: 12, BGHoldFor: 120},
 }
 
 // LiveFedRow is one cell's outcome census plus the calibration columns
@@ -116,7 +135,16 @@ type LiveFedRow struct {
 	RetryAmp float64
 	Chaos    map[string]int64
 
-	// Sim twin (DES federation with matching churn tempo) for calibration.
+	// LogicalTicks is the breaker logical clock's final reading: one tick
+	// per logical request, invariant under MaxAttempts (retries and
+	// failover re-routes of one request do not advance time).
+	LogicalTicks int64
+
+	// Schedule is the executed churn plan, including the measured arrival
+	// rate — the exact storm the DES twin replays.
+	Schedule chaosnet.Schedule
+
+	// Sim twin: the DES federation replaying Schedule, for calibration.
 	Sim FederateRow
 }
 
@@ -156,7 +184,8 @@ func RunLiveFedOn(f Fleet, seed int64) []LiveFedRow {
 	return RunLiveFedCellsOn(f, seed, LiveFedCells)
 }
 
-// RunLiveFedCellsOn runs each live cell, then its DES calibration twin.
+// RunLiveFedCellsOn runs each live cell, then replays its executed
+// schedule into the DES calibration twin.
 func RunLiveFedCellsOn(f Fleet, seed int64, cells []LiveFedCell) []LiveFedRow {
 	rows := make([]LiveFedRow, len(cells))
 	for i, c := range cells {
@@ -164,7 +193,7 @@ func RunLiveFedCellsOn(f Fleet, seed int64, cells []LiveFedCell) []LiveFedRow {
 	}
 	twins := make([]FederateCell, len(cells))
 	for i, c := range cells {
-		twins[i] = c.simTwin()
+		twins[i] = c.simTwin(rows[i].Schedule)
 	}
 	simRows := RunFederateCellsOn(f, seed, twins)
 	for i := range rows {
@@ -173,40 +202,146 @@ func RunLiveFedCellsOn(f Fleet, seed int64, cells []LiveFedCell) []LiveFedRow {
 	return rows
 }
 
-// simTwin shapes the DES calibration run: same federation width, an
-// open-loop trace large enough for stable shares, and churn fast enough
-// that hard kills and migrations (the DES analogue of endpoint death +
-// failover) actually fire inside the horizon.
-func (c LiveFedCell) simTwin() FederateCell {
-	reqs := c.Requests * 10
-	if reqs < 20_000 {
-		reqs = 20_000
+// liveFedInventory is each live cluster's shape: 4 nodes × 4 GPUs. One
+// Llama8B serving instance holds a whole node (TP=4), so a 12-GPU
+// background claim takes the other three and genuinely exhausts capacity.
+const (
+	liveFedNodes       = 4
+	liveFedGPUsPerNode = 4
+)
+
+// liveFedBreaker is the gateway breaker config, shared with the twin so
+// avoidance trips on the same logical clock.
+func liveFedBreaker() resilience.BreakerConfig {
+	return resilience.BreakerConfig{
+		Window: 60 * time.Second, Buckets: 12, MinSamples: 4,
+		FailureRate: 0.5, OpenFor: 10 * time.Second, HalfOpenProbes: 1,
+	}
+}
+
+// simTwin shapes the DES calibration run from the *executed* schedule:
+// same federation width and inventory, the same trace length at the
+// measured live arrival rate, and every kill, restart, claim, and fault
+// window replayed at its recorded request index — nothing guessed.
+func (c LiveFedCell) simTwin(s chaosnet.Schedule) FederateCell {
+	rate := s.RatePerSec
+	if rate <= 0 {
+		rate = 1
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
 	}
 	return FederateCell{
-		Clusters: c.Clusters, OpenLoopReqs: reqs, RatePerSec: 200,
-		ServeWalltimeS: 45, DrainGraceS: 15, BGPeriodS: 80,
+		Clusters:        c.Clusters,
+		OpenLoopReqs:    c.Requests,
+		RatePerSec:      rate,
+		Replay:          &s,
+		ReplayModel:     liveFedModel,
+		NodesPerCluster: liveFedNodes,
+		GPUsPerNode:     liveFedGPUsPerNode,
+		Breaker:         liveFedBreaker(),
+		MaxAttempts:     maxAttempts,
 	}
+}
+
+// cellSeed folds the entire cell config through FNV + splitmix64: the old
+// derivation (seed ^ Clusters<<40 ^ Requests) collided for any two cells
+// sharing width and length, correlating their supposedly independent
+// chaos draws.
+func (c LiveFedCell) cellSeed(seed int64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%+v|%+v|%g|%d|%d|%d|%d|%d",
+		c.Clusters, c.Requests, c.StreamEvery, c.MaxAttempts,
+		c.Net, c.Faults, c.PUnauthorized,
+		c.KillEvery, c.KillDownFor, c.BGEvery, c.BGGPUs, c.BGHoldFor)
+	return chaosnet.Mix(uint64(seed) ^ h.Sum64())
+}
+
+// BuildSchedule derives the cell's churn plan: rotating kills with
+// cold restarts KillDownFor later, and rotating background claims held
+// BGHoldFor. Events never land past the trace (the live driver would not
+// fire them), and a victim is never killed while still down.
+func (c LiveFedCell) BuildSchedule(cellSeed uint64) chaosnet.Schedule {
+	s := chaosnet.Schedule{
+		Seed:          cellSeed,
+		Endpoints:     c.Clusters,
+		Requests:      c.Requests,
+		Windows:       c.Faults,
+		PUnauthorized: c.PUnauthorized,
+	}
+	if c.KillEvery > 0 && c.KillDownFor > 0 && c.Clusters > 0 {
+		downUntil := make([]int, c.Clusters)
+		for k := 0; ; k++ {
+			at := c.KillEvery * (k + 1)
+			restart := at + c.KillDownFor
+			if restart >= c.Requests {
+				break
+			}
+			victim := (1 + k) % c.Clusters
+			if at < downUntil[victim] {
+				continue
+			}
+			downUntil[victim] = restart
+			s.Events = append(s.Events,
+				chaosnet.Event{AtIndex: at, Kind: chaosnet.EventKill, Endpoint: victim},
+				chaosnet.Event{AtIndex: restart, Kind: chaosnet.EventRestart, Endpoint: victim})
+		}
+	}
+	if c.BGEvery > 0 && c.BGGPUs > 0 && c.BGHoldFor > 0 && c.Clusters > 0 {
+		// Offset claims half a period from the kill grid so the two event
+		// families interleave instead of stacking on shared indices.
+		for b := 0; ; b++ {
+			at := c.BGEvery*(b+1) - c.BGEvery/2
+			release := at + c.BGHoldFor
+			if release >= c.Requests {
+				break
+			}
+			cl := b % c.Clusters
+			s.Events = append(s.Events,
+				chaosnet.Event{AtIndex: at, Kind: chaosnet.EventBGClaim, Endpoint: cl, GPUs: c.BGGPUs},
+				chaosnet.Event{AtIndex: release, Kind: chaosnet.EventBGRelease, Endpoint: cl})
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// roundRate rounds the measured arrival rate to 3 significant digits: the
+// scaled clock's elapsed time carries host-speed noise, and the twin only
+// needs the tempo, not the jitter.
+func roundRate(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(x))-2)
+	return math.Round(x/mag) * mag
 }
 
 // RunLiveFedCell boots a real multi-cluster System, arms the fault
 // schedules, and drives every request through the live client/gateway
 // path, classifying each outcome.
 func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
-	cellSeed := uint64(seed) ^ uint64(c.Clusters)<<40 ^ uint64(c.Requests)
+	cellSeed := c.cellSeed(seed)
 	clusterNames := make([]string, c.Clusters)
 	specs := make([]core.ClusterSpec, c.Clusters)
 	for i := range specs {
 		clusterNames[i] = fmt.Sprintf("lf%d", i)
-		specs[i] = core.ClusterSpec{Name: clusterNames[i], Nodes: 2, GPUsPerNode: 8}
+		// Backfill matches the DES twin's scheduler config: a serving
+		// restart queued behind a wide background claim may be backfilled
+		// on both sides or neither.
+		specs[i] = core.ClusterSpec{Name: clusterNames[i],
+			Nodes: liveFedNodes, GPUsPerNode: liveFedGPUsPerNode, Backfill: true}
 	}
 
 	// Breaker decisions run on a logical clock advanced one second per
-	// issued request — trip and probe timing depend only on the request
-	// schedule, never on host speed.
-	var issued atomic.Int64
+	// *logical* request — retries and failover re-routes of the same
+	// request do not tick it — so trip and probe timing depend only on the
+	// request schedule, never on host speed or the MaxAttempts budget.
+	var logical atomic.Int64
 	epoch := time.Unix(1_700_000_000, 0)
 	breakerNow := func() time.Time {
-		return epoch.Add(time.Duration(issued.Load()) * time.Second)
+		return epoch.Add(time.Duration(logical.Load()) * time.Second)
 	}
 
 	maxAttempts := c.MaxAttempts
@@ -221,11 +356,8 @@ func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
 				Config: fabric.DeploymentConfig{MinInstances: 1, MaxInstances: 1}},
 		},
 		Gateway: gateway.Config{
-			Retry: resilience.Policy{MaxAttempts: maxAttempts},
-			Breaker: resilience.BreakerConfig{
-				Window: 60 * time.Second, Buckets: 12, MinSamples: 4,
-				FailureRate: 0.5, OpenFor: 10 * time.Second, HalfOpenProbes: 1,
-			},
+			Retry:        resilience.Policy{MaxAttempts: maxAttempts},
+			Breaker:      liveFedBreaker(),
 			BreakerClock: breakerNow,
 		},
 	})
@@ -269,7 +401,48 @@ func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
 	row := LiveFedRow{Clusters: c.Clusters, Requests: c.Requests}
 	var mu sync.Mutex
 	var lats []float64
-	victim := sys.Endpoints["ep-"+clusterNames[1%len(clusterNames)]]
+
+	// The churn plan is built once, executed here, and handed to the DES
+	// twin verbatim — one schedule, two executors.
+	sched := c.BuildSchedule(cellSeed)
+	cursor := sched.Cursor()
+	var evMu sync.Mutex
+	bgJobs := make([][]*scheduler.Job, c.Clusters)
+	fire := func(ev chaosnet.Event) {
+		ep := sys.Endpoints["ep-"+clusterNames[ev.Endpoint]]
+		switch ev.Kind {
+		case chaosnet.EventKill:
+			ep.Undeploy(liveFedModel)
+		case chaosnet.EventRestart:
+			if _, err := ep.Deploy(fabric.DeploymentConfig{
+				Model: liveFedModel, MinInstances: 1, MaxInstances: 1,
+			}); err != nil {
+				panic(fmt.Sprintf("livefed: restart: %v", err))
+			}
+		case chaosnet.EventBGClaim:
+			job, err := sys.Schedulers[clusterNames[ev.Endpoint]].Submit(scheduler.JobSpec{
+				Name: "science-batch", User: "bg", GPUs: ev.GPUs,
+				// Held until the release event: the schedule's index clock
+				// is the time base, not a walltime.
+				Walltime: 0,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("livefed: bg claim: %v", err))
+			}
+			bgJobs[ev.Endpoint] = append(bgJobs[ev.Endpoint], job)
+		case chaosnet.EventBGRelease:
+			if q := bgJobs[ev.Endpoint]; len(q) > 0 {
+				job := q[0]
+				bgJobs[ev.Endpoint] = q[1:]
+				sys.Schedulers[clusterNames[ev.Endpoint]].Cancel(job.ID)
+			}
+		}
+	}
+	advance := func(i int) {
+		evMu.Lock()
+		cursor.Advance(i, fire)
+		evMu.Unlock()
+	}
 
 	// The scaled clock compresses wall time 20000×, so a multi-second run
 	// spans days of simulated time — past the paper's 48-hour token TTL.
@@ -294,15 +467,8 @@ func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
 	}
 
 	oneRequest := func(cli *client.Client, i int) {
-		if c.KillAt > 0 && i == c.KillAt {
-			victim.Undeploy(liveFedModel)
-		}
-		if c.RestartAt > 0 && i == c.RestartAt {
-			victim.Deploy(fabric.DeploymentConfig{
-				Model: liveFedModel, MinInstances: 1, MaxInstances: 1,
-			})
-		}
-		issued.Add(1)
+		advance(i)
+		logical.Add(1)
 		req := openaiapi.ChatCompletionRequest{
 			Model:     liveFedModel,
 			Messages:  []openaiapi.Message{{Role: "user", Content: liveFedPrompt(i)}},
@@ -350,6 +516,7 @@ func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
 		}
 	}
 
+	runStart := sys.Clock.Now()
 	if c.Concurrency <= 1 {
 		cli := newClient()
 		for i := 0; i < c.Requests; i++ {
@@ -380,6 +547,14 @@ func RunLiveFedCell(seed int64, c LiveFedCell) LiveFedRow {
 		}
 		wg.Wait()
 	}
+	// The executed schedule records the measured arrival tempo (requests
+	// per simulated second) so the twin replays the storm at the rate the
+	// live stack actually ran, not a guessed constant.
+	if elapsed := sys.Clock.Since(runStart).Seconds(); elapsed > 0 && c.Requests > 0 {
+		sched.RatePerSec = roundRate(float64(c.Requests) / elapsed)
+	}
+	row.Schedule = sched
+	row.LogicalTicks = logical.Load()
 
 	sort.Float64s(lats)
 	row.MedS = percentileOf(lats, 0.50)

@@ -1,7 +1,12 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"testing"
+
+	"github.com/argonne-first/first/internal/chaosnet"
 )
 
 // TestLiveFedZeroLost drives the short chaos cell — refused dials, 503
@@ -105,31 +110,147 @@ func TestLiveFedConcurrentChaos(t *testing.T) {
 	}
 }
 
-// TestLiveFedCalibration runs the short live cell with its DES twin and
-// sanity-checks the calibration columns exist and are comparable: both
-// sides route overwhelmingly on the active rung and both see failover
-// pressure under churn.
-func TestLiveFedCalibration(t *testing.T) {
-	if testing.Short() {
-		t.Skip("calibration twin runs a 20k-request DES scenario")
+// TestLiveFedCellSeedDerivation pins the satellite fix: the old derivation
+// (seed ^ Clusters<<40 ^ Requests) collided for any two cells sharing width
+// and trace length, silently correlating their chaos draws. Cells differing
+// in ANY config field must now draw from distinct seeds, and the derivation
+// must stay deterministic.
+func TestLiveFedCellSeedDerivation(t *testing.T) {
+	base := LiveFedCellsShort[0]
+	if base.cellSeed(DefaultSeed) != base.cellSeed(DefaultSeed) {
+		t.Fatal("cellSeed is not deterministic")
 	}
-	rows := RunLiveFedCellsOn(Sequential, DefaultSeed, LiveFedCellsShort)
-	r := rows[0]
-	if r.Sim.Offered == 0 || r.Sim.M.Completed == 0 {
-		t.Fatalf("sim twin did not run: %+v", r.Sim)
+	variants := map[string]LiveFedCell{}
+	v := base
+	v.Faults.BurstLen += 5
+	variants["fault burst length"] = v
+	v = base
+	v.KillEvery += 10
+	variants["kill cadence"] = v
+	v = base
+	v.PUnauthorized += 0.001
+	variants["credential lane"] = v
+	v = base
+	v.Net.PRefuse += 0.001
+	variants["net refuse rate"] = v
+	v = base
+	v.BGGPUs++
+	variants["bg claim width"] = v
+	seen := map[uint64]string{base.cellSeed(DefaultSeed): "base"}
+	for name, vc := range variants {
+		s := vc.cellSeed(DefaultSeed)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("cells %q and %q derive the same seed %#x (same width+length must not collide)", name, prev, s)
+		}
+		seen[s] = name
 	}
-	la, _, _ := rungShares(r.RungActive, r.RungCapacity, r.RungFirstConf)
-	sa, _, _ := rungShares(r.Sim.Rungs.Active, r.Sim.Rungs.Capacity, r.Sim.Rungs.FirstConf)
-	if la < 50 {
-		t.Errorf("live active-rung share = %.1f%%, want majority (every endpoint hosts the model)", la)
+	if s := base.cellSeed(DefaultSeed + 1); seen[s] != "" {
+		t.Errorf("changing the run seed collided with cell %q", seen[s])
 	}
-	if sa < 50 {
-		t.Errorf("sim active-rung share = %.1f%%, want majority", sa)
+}
+
+// TestLiveFedLogicalClockInvariant pins the breaker clock satellite: one
+// tick per logical request, so the final reading equals the trace length
+// whatever the retry/failover budget — MaxAttempts amplifies attempts, not
+// time, and breaker trip/probe windows stay comparable across budgets.
+func TestLiveFedLogicalClockInvariant(t *testing.T) {
+	c := LiveFedCellsShort[0]
+	c.Requests = 200
+	c.KillEvery, c.KillDownFor = 60, 80
+	c.BGEvery, c.BGHoldFor = 70, 50
+	for _, budget := range []int{1, 2, 3} {
+		c.MaxAttempts = budget
+		row := RunLiveFedCell(DefaultSeed, c)
+		if row.LogicalTicks != int64(c.Requests) {
+			t.Errorf("MaxAttempts=%d: logical clock read %d ticks, want exactly %d (one per request)",
+				budget, row.LogicalTicks, c.Requests)
+		}
 	}
-	if r.FailoverAttempts == 0 {
-		t.Error("live side saw no failover attempts under the storm")
+}
+
+// TestLiveFedBuildScheduleInvariants checks the churn-plan builder across
+// every configured cell: events sorted on the (index, kind, endpoint) key,
+// nothing scheduled past the trace (the live driver would never fire it,
+// and a replayed kill with no restart would starve parked twin requests),
+// kills always paired with a later restart, and no victim killed while
+// still down.
+func TestLiveFedBuildScheduleInvariants(t *testing.T) {
+	for _, c := range append(append([]LiveFedCell{}, LiveFedCellsShort...), LiveFedCells...) {
+		s := c.BuildSchedule(c.cellSeed(DefaultSeed))
+		if len(s.Events) == 0 {
+			t.Errorf("c%d/r%d: no churn events built", c.Clusters, c.Requests)
+			continue
+		}
+		sorted := append([]chaosnet.Event(nil), s.Events...)
+		s2 := s
+		s2.Events = sorted
+		s2.Sort()
+		if !reflect.DeepEqual(sorted, s.Events) {
+			t.Errorf("c%d/r%d: builder emitted unsorted events", c.Clusters, c.Requests)
+		}
+		down := make(map[int]bool)
+		kills, claims := 0, 0
+		for _, ev := range s.Events {
+			if ev.AtIndex < 0 || ev.AtIndex >= c.Requests {
+				t.Errorf("c%d/r%d: event %+v outside the trace [0,%d)", c.Clusters, c.Requests, ev, c.Requests)
+			}
+			switch ev.Kind {
+			case chaosnet.EventKill:
+				if down[ev.Endpoint] {
+					t.Errorf("c%d/r%d: endpoint %d killed while already down at %d", c.Clusters, c.Requests, ev.Endpoint, ev.AtIndex)
+				}
+				down[ev.Endpoint] = true
+				kills++
+			case chaosnet.EventRestart:
+				if !down[ev.Endpoint] {
+					t.Errorf("c%d/r%d: restart without a kill at %d", c.Clusters, c.Requests, ev.AtIndex)
+				}
+				down[ev.Endpoint] = false
+			case chaosnet.EventBGClaim:
+				claims++
+			case chaosnet.EventBGRelease:
+				claims--
+			}
+		}
+		for ep, d := range down {
+			if d {
+				t.Errorf("c%d/r%d: endpoint %d left dead at end of schedule (restart missing)", c.Clusters, c.Requests, ep)
+			}
+		}
+		if claims != 0 {
+			t.Errorf("c%d/r%d: %d background claims never released", c.Clusters, c.Requests, claims)
+		}
+		if kills == 0 {
+			t.Errorf("c%d/r%d: schedule has no kills — the storm is not honest", c.Clusters, c.Requests)
+		}
 	}
-	if r.Sim.Migrations == 0 {
-		t.Error("sim twin saw no migrations — churn tempo too slow for the horizon")
+}
+
+// TestLiveFedTwinByteIdentity is the acceptance bar for the replay path:
+// the same executed schedule replayed into the DES twin twice produces
+// byte-identical results — the twin is a pure function of the schedule.
+func TestLiveFedTwinByteIdentity(t *testing.T) {
+	c := LiveFedCellsShort[0]
+	s := c.BuildSchedule(c.cellSeed(DefaultSeed))
+	if !bytes.Equal(s.Canonical(), c.BuildSchedule(c.cellSeed(DefaultSeed)).Canonical()) {
+		t.Fatal("BuildSchedule is not deterministic")
+	}
+	s.RatePerSec = 0.01 // stand in for the live-measured tempo
+	twin := c.simTwin(s)
+	a := RunFederateCellsOn(Sequential, DefaultSeed, []FederateCell{twin})
+	b := RunFederateCellsOn(Sequential, DefaultSeed, []FederateCell{twin})
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("twin replays diverged:\n  a=%s\n  b=%s", ja, jb)
+	}
+	if a[0].HardKills == 0 || a[0].Migrations == 0 {
+		t.Errorf("replay twin too quiet to trust identity: %+v", a[0])
 	}
 }

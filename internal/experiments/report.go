@@ -91,21 +91,24 @@ func ReportLiveFed(w io.Writer, rows []LiveFedRow) {
 			r.RetryAmp, r.Trips, r.AuthRechecks)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "calibration (live vs DES twin):")
-	fmt.Fprintln(w, "clus  rung a/c/f live%            rung a/c/f sim%             p99 live/sim(s)   failover-per-req live/sim")
+	fmt.Fprintln(w, "calibration (live vs DES twin replaying the executed schedule):")
+	fmt.Fprintf(w, "clus  rung a/c/f live%%            rung a/c/f sim%%             p99 live/sim(s)   failover-per-req live/sim   gap(pts)  ratio  gate(±%.0fpts, %.0fx)\n",
+		CalibRungTolerancePts, CalibRateRatioMax)
 	for _, r := range rows {
 		la, lc, lf := rungShares(r.RungActive, r.RungCapacity, r.RungFirstConf)
 		sa, sc, sf := rungShares(r.Sim.Rungs.Active, r.Sim.Rungs.Capacity, r.Sim.Rungs.FirstConf)
-		liveFPR := 0.0
-		if r.Requests > 0 {
-			liveFPR = float64(r.FailoverAttempts) / float64(r.Requests)
+		cal := r.Calibrate()
+		verdict := "PASS"
+		if !cal.Pass {
+			verdict = "FAIL"
 		}
-		simFPR := 0.0
-		if r.Sim.Offered > 0 {
-			simFPR = float64(r.Sim.Migrations) / float64(r.Sim.Offered)
+		fmt.Fprintf(w, "%-4d  %5.1f/%5.1f/%5.1f           %5.1f/%5.1f/%5.1f            %6.2f/%6.2f     %8.4f/%8.4f      %7.2f  %5.2f  %s\n",
+			r.Clusters, la, lc, lf, sa, sc, sf, r.P99S, r.Sim.M.P99LatS,
+			cal.LiveFailoverPerReq, cal.SimMigrationsPerReq,
+			cal.RungGapPts, cal.RateRatio, verdict)
+		for _, v := range cal.Violations {
+			fmt.Fprintf(w, "      !! %s\n", v)
 		}
-		fmt.Fprintf(w, "%-4d  %5.1f/%5.1f/%5.1f           %5.1f/%5.1f/%5.1f            %6.2f/%6.2f     %8.4f/%8.4f\n",
-			r.Clusters, la, lc, lf, sa, sc, sf, r.P99S, r.Sim.M.P99LatS, liveFPR, simFPR)
 	}
 	fmt.Fprintln(w)
 }

@@ -1,0 +1,192 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/chaosnet"
+	"github.com/argonne-first/first/internal/clock"
+	"github.com/argonne-first/first/internal/fabric"
+	"github.com/argonne-first/first/internal/perfmodel"
+	"github.com/argonne-first/first/internal/resilience"
+)
+
+// TestRouterHalfOpenProbeBudget pins the probe budget the calibration twin
+// leans on: once a breaker's OpenFor expires, Acquire admits exactly
+// HalfOpenProbes attempts before rejecting further traffic until the
+// probes' outcomes are recorded.
+func TestRouterHalfOpenProbeBudget(t *testing.T) {
+	cfg := resilience.BreakerConfig{
+		Window: 10 * time.Second, Buckets: 10, MinSamples: 2,
+		FailureRate: 0.5, OpenFor: 5 * time.Second, HalfOpenProbes: 2,
+	}
+	set := resilience.NewSet(cfg)
+	base := time.Unix(1000, 0)
+
+	// Trip the endpoint.
+	set.Record("ep-x", base, 0, false)
+	set.Record("ep-x", base, 0, false)
+	if set.CanAttempt("ep-x", base.Add(time.Second)) {
+		t.Fatal("breaker admitted traffic while open")
+	}
+
+	// Past OpenFor: exactly HalfOpenProbes acquisitions succeed.
+	probeAt := base.Add(6 * time.Second)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if set.Acquire("ep-x", probeAt) {
+			admitted++
+		}
+	}
+	if admitted != cfg.HalfOpenProbes {
+		t.Fatalf("half-open admitted %d attempts, want exactly %d", admitted, cfg.HalfOpenProbes)
+	}
+
+	// Successful probes close the circuit; traffic flows again.
+	set.Record("ep-x", probeAt, 0, true)
+	set.Record("ep-x", probeAt, 0, true)
+	if !set.Acquire("ep-x", probeAt.Add(time.Second)) {
+		t.Error("breaker still rejecting after successful probes")
+	}
+}
+
+// TestReplayedWindowAvoidanceParity is the calibration contract at the
+// routing layer: a recorded chaosnet fault window driven through the live
+// Router + breaker Set on the logical clock produces the same
+// decision-by-decision trace as the DES twin's construction — standalone
+// resilience.Breakers filtering candidates ahead of the pure Select — when
+// both draw the same Windows.Faulty schedule. If this drifts, the
+// livefed calibration gate loses its meaning.
+func TestReplayedWindowAvoidanceParity(t *testing.T) {
+	const (
+		nReqs       = 300
+		maxAttempts = 3
+		seed        = uint64(0xfeed)
+	)
+	windows := chaosnet.Windows{BurstEvery: 40, BurstLen: 15, PFault: 0.9}
+	cfg := resilience.BreakerConfig{
+		Window: 60 * time.Second, Buckets: 12, MinSamples: 4,
+		FailureRate: 0.5, OpenFor: 10 * time.Second, HalfOpenProbes: 1,
+	}
+	epoch := time.Unix(1_700_000_000, 0)
+
+	clk := clock.NewScaled(20000)
+	eps := []*endpointStub{
+		{ep: newEndpoint(t, "p0", 2, 8, clk)},
+		{ep: newEndpoint(t, "p1", 2, 8, clk)},
+	}
+	r := NewRouter(nil)
+	for _, e := range eps {
+		r.AddRoute(perfmodel.Llama8B, e.ep)
+	}
+	set := resilience.NewSet(cfg)
+	var now time.Time
+	r.UseBreakers(set, func() time.Time { return now })
+	epIndex := map[string]int{"ep-p0": 0, "ep-p1": 1}
+
+	// Live trace: the gateway's failover loop against the real Router.
+	liveTrace := make([]string, 0, nReqs)
+	for idx := 0; idx < nReqs; idx++ {
+		now = epoch.Add(time.Duration(idx+1) * time.Second)
+		var avoid []string
+		outcome := "exhausted"
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			d, err := r.RouteAvoiding(perfmodel.Llama8B, avoid)
+			var allOpen *AllOpenError
+			if errors.As(err, &allOpen) {
+				outcome = "shed"
+				break
+			}
+			if err != nil {
+				outcome = "err:" + err.Error()
+				break
+			}
+			id := d.Endpoint.ID()
+			if !set.Acquire(id, now) {
+				avoid = append(avoid, id)
+				continue
+			}
+			faulty := windows.Faulty(seed, idx, epIndex[id], len(eps), attempt)
+			set.Record(id, now, 0, !faulty)
+			if !faulty {
+				outcome = id
+				break
+			}
+			avoid = append(avoid, id)
+		}
+		liveTrace = append(liveTrace, outcome)
+	}
+
+	// Twin trace: standalone breakers + the pure Select, the way
+	// desmodel's replay routes. Candidate snapshots are cold with equal
+	// free GPUs, matching the undeployed live endpoints above.
+	breakers := []*resilience.Breaker{resilience.NewBreaker(cfg), resilience.NewBreaker(cfg)}
+	spec := perfmodel.Default.MustLookup(perfmodel.Llama8B)
+	twinTrace := make([]string, 0, nReqs)
+	for idx := 0; idx < nReqs; idx++ {
+		tnow := epoch.Add(time.Duration(idx+1) * time.Second)
+		avoided := map[int]bool{}
+		outcome := "exhausted"
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			var infos []EndpointInfo
+			var order []int
+			for i, e := range eps {
+				if avoided[i] || !breakers[i].CanAttempt(tnow) {
+					continue
+				}
+				infos = append(infos, EndpointInfo{
+					ID: e.ep.ID(), ModelState: "cold",
+					FreeGPUs:   e.ep.Scheduler().Cluster().Status().FreeGPUs,
+					NeededGPUs: spec.TensorParallel,
+				})
+				order = append(order, i)
+			}
+			if len(infos) == 0 {
+				outcome = "shed"
+				break
+			}
+			sel, _, err := Select(infos)
+			if err != nil {
+				outcome = "err:" + err.Error()
+				break
+			}
+			ci := order[sel]
+			if !breakers[ci].Allow(tnow) {
+				avoided[ci] = true
+				continue
+			}
+			faulty := windows.Faulty(seed, idx, ci, len(eps), attempt)
+			breakers[ci].Record(tnow, !faulty)
+			if !faulty {
+				outcome = eps[ci].ep.ID()
+				break
+			}
+			avoided[ci] = true
+		}
+		twinTrace = append(twinTrace, outcome)
+	}
+
+	diverged := 0
+	for i := range liveTrace {
+		if liveTrace[i] != twinTrace[i] {
+			diverged++
+			if diverged <= 5 {
+				t.Errorf("idx %d: live routed %q, twin routed %q", i, liveTrace[i], twinTrace[i])
+			}
+		}
+	}
+	if diverged > 0 {
+		t.Fatalf("%d of %d decisions diverged between live router and replay twin", diverged, nReqs)
+	}
+	liveTrips := set.Trips()
+	twinTrips := breakers[0].Trips() + breakers[1].Trips()
+	if liveTrips == 0 {
+		t.Error("fault window never tripped a breaker — storm too quiet to test parity")
+	}
+	if liveTrips != twinTrips {
+		t.Errorf("breaker trips diverged: live %d vs twin %d", liveTrips, twinTrips)
+	}
+}
+
+type endpointStub struct{ ep *fabric.Endpoint }
