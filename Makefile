@@ -5,13 +5,14 @@ GO ?= go
 # (make fuzz FUZZTIME=60s).
 FUZZTIME ?= 3s
 
-.PHONY: all check fmt vet build test fuzz race chaos calibrate bench bench-diff federate-night autoscale-night livefed-night
+.PHONY: all check fmt vet build test fuzz lint race chaos calibrate bench bench-diff federate-night autoscale-night livefed-night
 
 all: check
 
 # check is the tier-1 gate every PR must keep green; the brief fuzz pass
-# keeps malformed request bodies from ever panicking a handler.
-check: fmt vet build test fuzz
+# keeps malformed request bodies from ever panicking a handler; lint runs
+# the repo's own firstlint analyzers (det, clockonly, seedflow, hotpath).
+check: fmt vet build test fuzz lint
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,6 +26,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# lint runs the repo-specific static analyzers (see internal/lint and the
+# "Static analysis" section of doc.go): det, clockonly, seedflow, and the
+# hotpath escape-analysis cross-check for //first:hotpath bodies.
+lint:
+	$(GO) run ./cmd/firstlint ./...
 
 # fuzz mutates the committed openaiapi seed corpora (testdata/fuzz) for
 # FUZZTIME each (3s in `make check`; the nightly CI job runs 60s): the

@@ -59,8 +59,11 @@ func main() {
 		fmt.Printf("deployed %s (min=%d max=%d)\n", model, *minInst, *maxInst)
 	}
 
+	// The status poll is a real-world cadence: it sleeps on the wall clock
+	// (via internal/clock, per the clockonly gate), not the scaled clk.
+	wall := clock.NewReal()
 	for i := 0; *iterations == 0 || i < *iterations; i++ {
-		time.Sleep(*interval)
+		wall.Sleep(*interval)
 		st := cl.Status()
 		fmt.Printf("\n[%s] cluster %s: %d/%d nodes free, %d/%d GPUs free\n",
 			time.Now().Format("15:04:05"), st.Name, st.FreeNodes, st.TotalNodes, st.FreeGPUs, st.TotalGPUs)

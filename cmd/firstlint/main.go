@@ -1,0 +1,75 @@
+// Command firstlint runs the repo's static-analysis suite — det,
+// clockonly, seedflow, hotpath — over the module, plus the driver-level
+// escape-analysis cross-check for //first:hotpath bodies, and exits
+// nonzero on any finding. `make lint` wires it into the tier-1 check
+// chain; see internal/lint for the analyzer contracts and the
+// //firstlint:allow directive grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/argonne-first/first/internal/lint"
+)
+
+func main() {
+	escape := flag.Bool("escape", true, "run the go build -gcflags=-m escape cross-check for //first:hotpath bodies")
+	dir := flag.String("C", ".", "module directory to lint")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modulePath, err := goModulePath(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "firstlint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "firstlint:", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, lint.RunPackage(pkg, lint.All)...)
+	}
+	if *escape {
+		ediags, err := lint.EscapeCheck(*dir, modulePath, pkgs, patterns...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "firstlint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ediags...)
+	}
+	// Directive health last: the escape phase consumes hotpath line
+	// allows, so unused-allow detection must run after it.
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.Dirs.DirectiveDiags()...)
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "firstlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func goModulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

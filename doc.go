@@ -228,4 +228,47 @@
 // too slow per-PR: 60 s of parser fuzzing, the full-scale federate and
 // autoscale determinism suites, and the full livefed chaos sweep, which
 // fails on any calibration-gate trip and uploads divergent schedules.
+//
+// # Static analysis
+//
+// The repo guards its own invariants with firstlint (cmd/firstlint,
+// internal/lint), a stdlib-only multichecker in the go/analysis idiom:
+// `make lint` runs it over ./... and is part of the tier-1 `make check`
+// chain and a required CI job. Four analyzers encode the bug classes past
+// PRs actually hit:
+//
+//   - det — in the deterministic packages (internal/sim, desmodel,
+//     federation, scheduler, cluster, serving, and the experiments
+//     report/benchjson files) flags wall-clock reads (time.Now/Since),
+//     draws from the global math/rand source, goroutine launches, and map
+//     ranges whose iteration order is not visibly sorted before it can
+//     escape into reports or event schedules.
+//   - clockonly — forbids time.Sleep/After/AfterFunc/Tick/NewTimer/
+//     NewTicker everywhere outside internal/clock, so every wait flows
+//     through clock.Clock (or clock.SleepCtx) where scaled harnesses stay
+//     in control — the PR 6 WithSleep bug class.
+//   - seedflow — polices seed derivation in the seed-minting packages
+//     (chaosnet, workload, experiments, desmodel): ad-hoc rand.New/
+//     NewSource streams, fnv hashing never finalized through the shared
+//     splitmix64 Mix, and xor-folds of two or more variables without a Mix
+//     in the chain — the PR 7 cell-seed collision class.
+//   - hotpath — cross-checks //first:hotpath annotations three ways: every
+//     function called directly from a 0-alloc AllocsPerRun pin must carry
+//     the annotation, every annotation must be reachable from some pin
+//     through the package's static call graph, and the compiler's escape
+//     analysis (go build -gcflags=-m, parsed by the driver) must show no
+//     heap escapes inside an annotated body.
+//
+// Suppressions are explicit and audited: `//firstlint:allow <analyzer>
+// <reason>` silences that analyzer on its own line (trailing comment) or
+// the next code line (standalone comment); the reason is mandatory, unknown
+// verbs or analyzer names are findings, and an allow that suppresses
+// nothing is itself reported, so suppressions cannot rot. `//first:hotpath
+// [note]` is only valid in a function declaration's doc comment. Analyzer
+// fixtures live under internal/lint/testdata/src with `// want` expectations
+// run by internal/lint/linttest. The framework mirrors the
+// golang.org/x/tools/go/analysis API shape (Analyzer/Pass/Reportf) but is
+// built on go/ast + go/types with the source importer, so it needs no
+// network or vendored dependencies; migrating onto x/tools/go/analysis and
+// its multichecker when the dependency is available is a mechanical swap.
 package first

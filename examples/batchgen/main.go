@@ -72,7 +72,7 @@ func main() {
 		if got.Status == "failed" || got.Status == "cancelled" {
 			log.Fatalf("batch %s: %s", got.Status, got.Error)
 		}
-		time.Sleep(50 * time.Millisecond)
+		clock.NewReal().Sleep(50 * time.Millisecond)
 	}
 	results, err := c.BatchResults(ctx, b.ID)
 	if err != nil {

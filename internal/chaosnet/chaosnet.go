@@ -111,6 +111,7 @@ func (t *Transport) Stats() *Stats { return &t.stats }
 // retries: method, URL path, and body. Attempt is hashed separately so a
 // retry of the same request draws fresh faults.
 func RequestKey(method, path string, body []byte) uint64 {
+	//firstlint:allow seedflow the key is request identity, never a raw stream seed: every fault draw folds it through Mix inside draw()
 	h := fnv.New64a()
 	io.WriteString(h, method)
 	h.Write([]byte{0})

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/argonne-first/first/internal/clock"
 	"github.com/argonne-first/first/internal/openaiapi"
 	"github.com/argonne-first/first/internal/resilience"
 )
@@ -231,19 +232,11 @@ func (c *Client) backoff(ctx context.Context, d time.Duration) error {
 	return sleepCtx(ctx, d)
 }
 
-// sleepCtx sleeps for d or until ctx is done, whichever is first.
+// sleepCtx sleeps for d or until ctx is done, whichever is first. The wall
+// wait itself lives in internal/clock so every raw sleep in the module
+// shares one audited implementation.
 func sleepCtx(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return ctx.Err()
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return clock.SleepCtx(ctx, d)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {

@@ -9,6 +9,7 @@
 package clock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -100,6 +101,27 @@ func (s *Scaled) compress(d time.Duration) time.Duration {
 		c = time.Nanosecond
 	}
 	return c
+}
+
+// SleepCtx sleeps for d on the wall clock or until ctx is done, whichever
+// comes first, returning ctx.Err when the context won. It is the one
+// context-aware wall wait in the module: firstlint's clockonly analyzer
+// forbids raw time.Sleep/After/NewTimer outside this package, so callers
+// that need an interruptible sleep (retry backoff, poll loops) route here
+// — and harnesses that must not wall-wait at all (a 1 s Retry-After is 77
+// simulated hours at 20000×) inject their own sleeper instead.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Manual is a test clock that only advances when Advance is called. Sleepers

@@ -235,6 +235,7 @@ func (c *Cluster) CheckInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	counted := make(map[int]int)
+	//firstlint:allow det commutative GPU accounting: a duplicate or count mismatch fails regardless of visit order
 	for _, a := range c.granted {
 		for _, p := range a.Parts {
 			seen := make(map[int]bool)

@@ -137,6 +137,8 @@ func (d *fedDep) servingCount() int {
 // pickServing returns the least-loaded serving instance (earliest pool
 // member wins ties), or nil when nothing serves. Allocation-free: this is
 // the per-request instance-selection hot path.
+//
+//first:hotpath pinned by the scaler AllocsPerRun sweep (autoscale_test.go)
 func (d *fedDep) pickServing() *fedInstance {
 	var best *fedInstance
 	for _, in := range d.insts {
@@ -166,6 +168,8 @@ func (d *fedDep) notePool() {
 // scaleTick is one policy evaluation for this deployment pool. The decision
 // path is allocation-free; only an actual scale-up allocates (the new
 // incarnation and its scheduler job).
+//
+//first:hotpath pinned by the scaler AllocsPerRun sweep (autoscale_test.go)
 func (d *fedDep) scaleTick() {
 	p := &d.f.p.Scale
 	live := d.liveCount()

@@ -43,7 +43,8 @@ type BenchRecord struct {
 // CollectBench regenerates every experiment on f and returns the record.
 func CollectBench(f Fleet, seed int64) BenchRecord {
 	rec := BenchRecord{
-		Schema:      BenchSchema,
+		Schema: BenchSchema,
+		//firstlint:allow det the record's timestamp is provenance metadata, not simulation state
 		UnixTime:    time.Now().Unix(),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -53,7 +54,7 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		Workers:     f.Workers,
 		Experiments: make(map[string]BenchExperiment),
 	}
-	start := time.Now()
+	start := time.Now() //firstlint:allow det wall-clock benchmark timing is the product this file exists to measure
 	// Each experiment regenerates benchReps times and records the fastest
 	// wall: experiment outputs are deterministic, so the repetitions differ
 	// only in scheduler/GC noise, and the minimum is the standard
@@ -66,8 +67,9 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		var best float64
 		var metrics map[string]float64
 		for rep := 0; rep < benchReps; rep++ {
-			t0 := time.Now()
+			t0 := time.Now() //firstlint:allow det wall-clock benchmark timing is the product this file exists to measure
 			metrics = run()
+			//firstlint:allow det wall-clock benchmark timing is the product this file exists to measure
 			if wall := float64(time.Since(t0).Microseconds()) / 1000; rep == 0 || wall < best {
 				best = wall
 			}
@@ -241,6 +243,7 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 	// WallMS keeps its v1 meaning — experiment regeneration time only — so
 	// the headline number stays comparable across records; the micro pass
 	// times itself per series.
+	//firstlint:allow det wall-clock benchmark timing is the product this file exists to measure
 	rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	rec.Micro = CollectMicro()
 	return rec

@@ -604,9 +604,11 @@ func armLiveFedEndpoint(ep *fabric.Endpoint, epIdx int, c LiveFedCell, cellSeed 
 			attempt := seen[idx]
 			seen[idx] = attempt + 1
 			mu.Unlock()
-			if c.PUnauthorized > 0 &&
-				chaosnet.Draw(cellSeed^0x401, uint64(idx)<<20^uint64(epIdx), uint32(attempt), 6) < c.PUnauthorized {
-				return nil, fabric.ErrUnauthorized
+			if c.PUnauthorized > 0 {
+				//firstlint:allow seedflow idx<<20^epIdx spans disjoint bit ranges (cluster counts are single digits) and Draw mixes the fold; rewriting it would invalidate the committed calibration schedules
+				if chaosnet.Draw(cellSeed^0x401, uint64(idx)<<20^uint64(epIdx), uint32(attempt), 6) < c.PUnauthorized {
+					return nil, fabric.ErrUnauthorized
+				}
 			}
 			if c.Faults.Faulty(cellSeed, idx, epIdx, nEps, attempt) {
 				return nil, errInjectedFault

@@ -15,6 +15,7 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -131,7 +132,8 @@ func (r *Router) AddRoute(model string, ep *fabric.Endpoint) {
 	r.order[model] = append(r.order[model], ep)
 }
 
-// Models lists models with at least one route.
+// Models lists models with at least one route, sorted so callers (status
+// pages, reports) see a stable order regardless of registration history.
 func (r *Router) Models() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -139,6 +141,7 @@ func (r *Router) Models() []string {
 	for m := range r.order {
 		out = append(out, m)
 	}
+	sort.Strings(out)
 	return out
 }
 

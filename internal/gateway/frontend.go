@@ -132,6 +132,8 @@ func (f *frontend) nextID(prefix string) string {
 
 // cacheGet returns a fresh cached body, promoting the entry to MRU. The hit
 // path performs no allocation.
+//
+//first:hotpath pinned by TestFrontendZeroAllocHotPaths (frontend_test.go)
 func (f *frontend) cacheGet(key respKey) ([]byte, bool) {
 	if f.cacheTTL <= 0 {
 		return nil, false
@@ -232,6 +234,8 @@ func (sh *frontShard) toFront(e *lruEntry) {
 // stays bounded by the arrivals before the quiet period; no background
 // goroutine to manage). The steady-state path (existing bucket, no sweep
 // due) allocates nothing.
+//
+//first:hotpath pinned by TestFrontendZeroAllocHotPaths (frontend_test.go)
 func (f *frontend) allowUser(sub string) bool {
 	sh := f.userShard(sub)
 	sh.mu.Lock()
@@ -242,6 +246,7 @@ func (f *frontend) allowUser(sub string) bool {
 	now := f.clk.Now()
 	lim, ok := sh.limiters[sub]
 	if !ok {
+		//firstlint:allow hotpath first-touch limiter allocation; the 0-alloc pin measures the steady state where the user's limiter already exists
 		lim = &userLimiter{tokens: f.burst, last: now}
 		sh.limiters[sub] = lim
 	}

@@ -331,6 +331,7 @@ func errString(err error) string {
 	return err.Error()
 }
 
+//first:hotpath legacy delegate to the pinned frontend.allowUser
 func (s *Server) allowUser(sub string) bool { return s.fe.allowUser(sub) }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, typ, msg string) {
@@ -355,6 +356,7 @@ func cacheKey(sub string, body []byte) respKey {
 	return sha256.Sum256(buf)
 }
 
+//first:hotpath legacy delegate to the pinned frontend.cacheGet
 func (s *Server) cacheGet(key respKey) ([]byte, bool) { return s.fe.cacheGet(key) }
 
 func (s *Server) cachePut(key respKey, body []byte) { s.fe.cachePut(key, body) }

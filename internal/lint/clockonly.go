@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ClockOnly forbids raw waiting primitives everywhere outside
+// internal/clock. A real 1 s sleep is 77 simulated hours at the livefed
+// 20000× factor (the PR 6 WithSleep bug class), so every wait must flow
+// through the scaled clock where harnesses can compress or inject it.
+var ClockOnly = &Analyzer{
+	Name: "clockonly",
+	Doc:  "forbid time.Sleep/After/AfterFunc/Tick/NewTimer/NewTicker outside internal/clock",
+	Run:  runClockOnly,
+}
+
+// wallWaiters are the time package functions that block on or schedule
+// against the wall clock.
+var wallWaiters = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runClockOnly(pass *Pass) {
+	if relPath(pass.Path) == "internal/clock" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.Info, call)
+			if fn != nil && pkgLevelFunc(fn, "time") && wallWaiters[fn.Name()] {
+				pass.Reportf(call.Pos(), "time.%s waits on the raw wall clock: route the wait through internal/clock (clock.Clock, clock.SleepCtx) so scaled harnesses stay in control", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "example.invalid/fixture")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return pkg
+}
+
+func diagMessages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+// A reason-less allow cannot be expressed in a want-comment fixture (any
+// trailing text becomes the reason), so the grammar check lives here.
+func TestAllowWithoutReasonIsMalformed(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func F() int {
+	//firstlint:allow det
+	return 1
+}
+`)
+	diags := pkg.Dirs.DirectiveDiags()
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("want one needs-a-reason finding, got %q", diagMessages(diags))
+	}
+}
+
+func TestAllowMissingAnalyzerIsMalformed(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func F() int {
+	//firstlint:allow
+	return 1
+}
+`)
+	diags := pkg.Dirs.DirectiveDiags()
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer (missing)") {
+		t.Fatalf("want one unknown-analyzer finding, got %q", diagMessages(diags))
+	}
+}
+
+// A standalone allow covers the next code line, skipping blanks and other
+// comments; a trailing allow covers its own line.
+func TestAllowTargetLines(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func F() int {
+	//firstlint:allow det standalone covers the next code line
+
+	// intervening comment
+	a := 1
+	b := 2 //firstlint:allow clockonly trailing covers its own line
+	return a + b
+}
+`)
+	if !pkg.Dirs.allow("det", filepath.Join(pkg.Dir, "a.go"), 7) {
+		t.Error("standalone allow should cover line 7 (a := 1)")
+	}
+	if !pkg.Dirs.allow("clockonly", filepath.Join(pkg.Dir, "a.go"), 8) {
+		t.Error("trailing allow should cover line 8 (b := 2)")
+	}
+	if pkg.Dirs.allow("det", filepath.Join(pkg.Dir, "a.go"), 8) {
+		t.Error("det allow must not leak onto line 8")
+	}
+	// Both allows were consumed above, so directive health is clean.
+	if diags := pkg.Dirs.DirectiveDiags(); len(diags) != 0 {
+		t.Errorf("unexpected directive diags: %q", diagMessages(diags))
+	}
+}
+
+func TestUnusedAllowReported(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func F() int {
+	//firstlint:allow seedflow nothing here mints seeds
+	return 1
+}
+`)
+	diags := pkg.Dirs.DirectiveDiags()
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused //firstlint:allow seedflow") {
+		t.Fatalf("want one unused-allow finding, got %q", diagMessages(diags))
+	}
+}
+
+func TestHotpathBindsBodyRange(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+// F is hot.
+//
+//first:hotpath pinned elsewhere
+func F() int {
+	return 1
+}
+`)
+	anns := pkg.Dirs.Hotpaths()
+	if len(anns) != 1 {
+		t.Fatalf("want one annotation, got %d", len(anns))
+	}
+	ann := anns[0]
+	if ann.FuncName != "F" || ann.BodyStart != 6 || ann.BodyEnd != 8 {
+		t.Errorf("bad binding: %+v", ann)
+	}
+}

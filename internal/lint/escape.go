@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The driver half of the hotpath contract: parse the compiler's escape
+// analysis (`go build -gcflags=<module>/...=-m`) and fail when a heap
+// escape lands inside a //first:hotpath body. The go toolchain replays
+// cached compiler output, so the pass is cheap and reliable on warm caches.
+
+// EscapeSite is one escape-analysis finding from the compiler.
+type EscapeSite struct {
+	File string // as printed (relative to the build directory)
+	Line int
+	Msg  string
+}
+
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// ParseEscapeOutput extracts "escapes to heap" / "moved to heap" sites
+// from `go build -gcflags=-m` output. Inlining chatter, package banners,
+// and "leaking param" notes (which describe callers, not allocations) are
+// ignored.
+func ParseEscapeOutput(out []byte) []EscapeSite {
+	var sites []EscapeSite
+	for _, raw := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(raw))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		sites = append(sites, EscapeSite{File: m[1], Line: line, Msg: msg})
+	}
+	return sites
+}
+
+// CheckEscapes matches escape sites (with files resolved relative to
+// buildDir) against every //first:hotpath body in pkgs. A site inside an
+// annotated body is a finding unless its line carries
+// //firstlint:allow hotpath <reason> — the documented slow-path escape
+// hatch (first-touch allocations, panic formatting).
+func CheckEscapes(buildDir string, sites []EscapeSite, pkgs []*Package) []Diagnostic {
+	// Annotation positions are absolute (they come from go list's package
+	// Dirs); escape sites are printed relative to the build directory, so
+	// the join must be anchored even when buildDir is ".".
+	if abs, err := filepath.Abs(buildDir); err == nil {
+		buildDir = abs
+	}
+	var diags []Diagnostic
+	for _, site := range sites {
+		file := site.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(buildDir, file)
+		}
+		for _, pkg := range pkgs {
+			for _, ann := range pkg.Dirs.Hotpaths() {
+				if ann.File != file || site.Line < ann.BodyStart || site.Line > ann.BodyEnd {
+					continue
+				}
+				if pkg.Dirs.allow("hotpath", file, site.Line) {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: file, Line: site.Line, Column: 1},
+					Analyzer: "hotpath",
+					Message:  fmt.Sprintf("heap escape inside //first:hotpath %s: %s (fix the allocation or annotate the line //firstlint:allow hotpath <reason>)", ann.FuncName, site.Msg),
+				})
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// EscapeCheck runs the compiler over the module and applies CheckEscapes.
+// modulePath scopes -gcflags so only this module's packages emit analysis.
+func EscapeCheck(moduleDir, modulePath string, pkgs []*Package, patterns ...string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", fmt.Sprintf("-gcflags=%s/...=-m", modulePath)}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, buf.String())
+	}
+	return CheckEscapes(moduleDir, ParseEscapeOutput(buf.Bytes()), pkgs), nil
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEscapeOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# github.com/argonne-first/first/internal/sim",
+		"internal/sim/kernel.go:95:9: &Kernel{} escapes to heap",
+		"internal/sim/kernel.go:120:2: moved to heap: ev",
+		"internal/sim/kernel.go:140:6: can inline (*Kernel).Now",
+		"internal/sim/kernel.go:150:20: leaking param: fn",
+		"not a diagnostic line",
+	}, "\n")
+	sites := ParseEscapeOutput([]byte(out))
+	if len(sites) != 2 {
+		t.Fatalf("want 2 sites, got %d: %+v", len(sites), sites)
+	}
+	if sites[0].File != "internal/sim/kernel.go" || sites[0].Line != 95 {
+		t.Errorf("bad site 0: %+v", sites[0])
+	}
+	if sites[1].Line != 120 || !strings.Contains(sites[1].Msg, "moved to heap") {
+		t.Errorf("bad site 1: %+v", sites[1])
+	}
+}
+
+func TestCheckEscapes(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+// Hot is a 0-alloc path.
+//
+//first:hotpath
+func Hot() *int {
+	x := 1
+	//firstlint:allow hotpath documented slow-path escape
+	y := 2
+	_ = x
+	return &y
+}
+
+func Cold() *int {
+	z := 3
+	return &z
+}
+`)
+	sites := []EscapeSite{
+		{File: "a.go", Line: 7, Msg: "moved to heap: x"},  // inside Hot, no allow -> finding
+		{File: "a.go", Line: 9, Msg: "moved to heap: y"},  // inside Hot, allowed
+		{File: "a.go", Line: 15, Msg: "moved to heap: z"}, // outside any hotpath body
+	}
+	diags := CheckEscapes(pkg.Dir, sites, []*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %d: %q", len(diags), diagMessages(diags))
+	}
+	if !strings.Contains(diags[0].Message, "heap escape inside //first:hotpath Hot") ||
+		!strings.Contains(diags[0].Message, "moved to heap: x") {
+		t.Errorf("bad message: %s", diags[0].Message)
+	}
+	if diags[0].Pos.Line != 7 {
+		t.Errorf("finding at line %d, want 7", diags[0].Pos.Line)
+	}
+	// The consumed allow is used; directive health must stay clean.
+	if dd := pkg.Dirs.DirectiveDiags(); len(dd) != 0 {
+		t.Errorf("unexpected directive diags: %q", diagMessages(dd))
+	}
+}

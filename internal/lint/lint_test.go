@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/argonne-first/first/internal/lint"
+	"github.com/argonne-first/first/internal/lint/linttest"
+)
+
+// Fixtures load under synthetic module-prefixed import paths so the
+// production scope rules (det packages, the clock exemption, seed-minting
+// packages) apply to them unchanged.
+const module = "github.com/argonne-first/first"
+
+func TestDetAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/det", module+"/internal/sim", lint.Det)
+}
+
+func TestClockOnlyAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/clockonly", module+"/internal/livehttp", lint.ClockOnly)
+}
+
+func TestClockOnlyExemptsClockPackage(t *testing.T) {
+	linttest.Run(t, "testdata/src/clockexempt", module+"/internal/clock", lint.ClockOnly)
+}
+
+func TestSeedFlowAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/seedflow", module+"/internal/chaosnet", lint.SeedFlow)
+}
+
+func TestHotPathAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotpath", module+"/internal/hotfixture", lint.HotPath)
+}
+
+func TestDirectiveHealth(t *testing.T) {
+	linttest.Run(t, "testdata/src/directives", module+"/internal/dirfixture")
+}

@@ -1,0 +1,108 @@
+// Package linttest runs firstlint analyzers over fixture packages in the
+// analysistest idiom: fixture files carry `// want "regexp"` comments on
+// the lines where diagnostics must fire, and the runner fails the test on
+// any missing or unexpected finding. Fixtures load under synthetic import
+// paths so the production scope rules (det packages, the clock exemption,
+// seed-minting packages) apply to them unchanged.
+package linttest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/argonne-first/first/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads the fixture directory under importPath, applies the analyzers
+// plus the directive-health check, and matches findings against the
+// fixture's `// want` expectations.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	got := lint.RunPackage(pkg, analyzers)
+	got = append(got, pkg.Dirs.DirectiveDiags()...)
+
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]*regexp.Regexp)
+	for file, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range splitWantPatterns(t, file, i+1, m[1]) {
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, pat, err)
+				}
+				k := key{file, i + 1}
+				want[k] = append(want[k], rx)
+			}
+		}
+	}
+
+	for _, d := range got {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		rxs := want[k]
+		matched := -1
+		for i, rx := range rxs {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic %s", d)
+			continue
+		}
+		want[k] = append(rxs[:matched], rxs[matched+1:]...)
+		if len(want[k]) == 0 {
+			delete(want, k)
+		}
+	}
+	for k, rxs := range want {
+		for _, rx := range rxs {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}
+
+// splitWantPatterns parses the backquoted or double-quoted string literals
+// after `// want`.
+func splitWantPatterns(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	f := fset.AddFile("", fset.Base(), len(s))
+	sc.Init(f, []byte(s), nil, 0)
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF || tok == token.SEMICOLON {
+			break
+		}
+		if tok != token.STRING {
+			t.Fatalf("%s:%d: want expectation must be string literals, got %v", file, line, tok)
+		}
+		unq := lit[1 : len(lit)-1]
+		if lit[0] == '"' {
+			if _, err := fmt.Sscanf(lit, "%q", &unq); err != nil {
+				t.Fatalf("%s:%d: bad want literal %s: %v", file, line, lit, err)
+			}
+		}
+		out = append(out, unq)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, analyzed unit: compiled files type-checked, test
+// files parsed, directives scanned.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+	Dirs      *Directives
+	// Src holds each file's raw bytes, keyed by absolute filename; the
+	// directive scanner uses it to decide whether a comment stands alone
+	// on its line.
+	Src map[string][]byte
+}
+
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load enumerates patterns with `go list` from moduleDir and loads each
+// package: compiled files are parsed with comments and type-checked against
+// the standard library's source importer (fully offline), test files are
+// parsed only. One file set and one importer are shared across packages so
+// dependency type-checking is paid once per process.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkg, err := loadFiles(fset, imp, lp.Dir, lp.ImportPath, lp.GoFiles, append(lp.TestGoFiles, lp.XTestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads every .go file in dir as one package under the given
+// (possibly synthetic) import path. Fixture runners use it to place test
+// packages inside the production scope rules.
+func LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles, testFiles []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, name)
+		} else {
+			goFiles = append(goFiles, name)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return loadFiles(fset, imp, dir, importPath, goFiles, testFiles)
+}
+
+func loadFiles(fset *token.FileSet, imp types.Importer, dir, importPath string, goFiles, testFiles []string) (*Package, error) {
+	src := make(map[string][]byte)
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			fn := filepath.Join(dir, name)
+			b, err := os.ReadFile(fn)
+			if err != nil {
+				return nil, err
+			}
+			src[fn] = b
+			f, err := parser.ParseFile(fset, fn, b, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(goFiles)
+	if err != nil {
+		return nil, err
+	}
+	tfiles, err := parse(testFiles)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+
+	pkg := &Package{
+		Path:      importPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		TestFiles: tfiles,
+		Pkg:       tpkg,
+		Info:      info,
+		Src:       src,
+	}
+	pkg.Dirs = scanDirectives(pkg)
+	return pkg, nil
+}

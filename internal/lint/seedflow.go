@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SeedFlow polices how chaos and workload seeds are derived. The PR 7
+// seed-collision bug (cell seeds folded as seed^Clusters<<40^Requests
+// collided for same-shape cells) is a class, not an instance: any xor-fold
+// of two or more variables without a splitmix64 Mix in the chain can
+// collide, and any ad-hoc hash used as a stream seed bypasses the shared
+// finalizer. Three rules, scoped to the packages that mint seeds:
+//
+//  1. rand.New/rand.NewSource outside internal/sim — streams must come
+//     from sim.NewRNG so all experiment randomness shares one root.
+//  2. fnv hashing in chaos/workload/experiment code whose enclosing
+//     function never calls Mix — folding a hash straight into a seed
+//     skips the finalizer that guarantees avalanche.
+//  3. seed expressions (arguments of NewRNG/NewSource/Draw/Fork or values
+//     assigned to Seed fields) that xor-combine two or more non-constant
+//     operands with no Mix call inside the fold.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "chaos and workload seeds must derive from the shared splitmix64 Mix",
+	Run:  runSeedFlow,
+}
+
+// seedMintingPackages mint chaos or workload seeds; rules 2 and 3 apply
+// only here.
+var seedMintingPackages = map[string]bool{
+	"internal/chaosnet":    true,
+	"internal/workload":    true,
+	"internal/experiments": true,
+	"internal/desmodel":    true,
+}
+
+// seedSinks are callee names whose arguments are stream seeds or draw keys.
+var seedSinks = map[string]bool{
+	"NewRNG":    true,
+	"NewSource": true,
+	"Draw":      true,
+}
+
+func runSeedFlow(pass *Pass) {
+	rel := relPath(pass.Path)
+	minting := seedMintingPackages[rel]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			callsMix := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == "Mix" {
+					callsMix = true
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := funcObj(pass.Info, n)
+					if fn != nil && (fn.Pkg() != nil && (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2")) &&
+						pkgLevelFunc(fn, fn.Pkg().Path()) && (fn.Name() == "New" || fn.Name() == "NewSource") && rel != "internal/sim" {
+						pass.Reportf(n.Pos(), "%s.%s builds an ad-hoc stream: derive generators from sim.NewRNG so every stream shares the seeded root", fn.Pkg().Name(), fn.Name())
+					}
+					if minting && fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "hash/fnv" && !callsMix {
+						pass.Reportf(n.Pos(), "fnv hash in seed-minting code without a Mix call in %s: finalize derived seeds with the shared splitmix64 Mix", fd.Name.Name)
+					}
+					if minting && seedSinks[calleeName(n)] {
+						for _, arg := range n.Args {
+							checkSeedFold(pass, arg)
+						}
+					}
+				case *ast.AssignStmt:
+					if !minting {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						if i < len(n.Rhs) && isSeedName(lhs) {
+							checkSeedFold(pass, n.Rhs[i])
+						}
+					}
+				case *ast.KeyValueExpr:
+					if !minting {
+						return true
+					}
+					if id, ok := n.Key.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "seed") {
+						checkSeedFold(pass, n.Value)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isSeedName(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "seed")
+	}
+	return false
+}
+
+// checkSeedFold flags expr when it xor-folds two or more non-constant
+// operands without a Mix call anywhere in the fold: x^const is safe domain
+// separation, Mix(a)^b is the blessed derivation, but a^b can collide.
+func checkSeedFold(pass *Pass, expr ast.Expr) {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	hasXor, hasMix, vars := false, false, 0
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if b, ok := e.(*ast.BinaryExpr); ok {
+			if b.Op.String() == "^" {
+				hasXor = true
+			}
+			walk(b.X)
+			walk(b.Y)
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == "Mix" {
+				hasMix = true
+			}
+			return true
+		})
+		if tv, ok := pass.Info.Types[e]; ok && tv.Value == nil {
+			vars++
+		}
+	}
+	walk(bin)
+	if hasXor && !hasMix && vars >= 2 {
+		pass.Reportf(expr.Pos(), "seed folded from %d variables by xor without Mix: xor-folds collide (the PR 7 cell-seed bug class) — finalize with the shared splitmix64 Mix", vars)
+	}
+}

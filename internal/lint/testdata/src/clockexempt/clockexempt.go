@@ -1,0 +1,18 @@
+// Fixture proving clockonly exempts internal/clock itself: this file is
+// loaded under github.com/argonne-first/first/internal/clock and must
+// produce no findings despite using every wall waiter.
+package clock
+
+import "time"
+
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func Arm() *time.Timer {
+	return time.NewTimer(time.Second)
+}
+
+func Deadline() <-chan time.Time {
+	return time.After(time.Second)
+}

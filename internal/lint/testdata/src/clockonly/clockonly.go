@@ -1,0 +1,33 @@
+// Fixture for the clockonly analyzer, loaded under a synthetic import path
+// outside internal/clock so every wall waiter is a finding.
+package livehttp
+
+import "time"
+
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time.Sleep waits on the raw wall clock`
+}
+
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) // want `time.After waits on the raw wall clock`
+}
+
+func Arm() *time.Timer {
+	return time.NewTimer(time.Second) // want `time.NewTimer waits on the raw wall clock`
+}
+
+func Ticking() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time.NewTicker waits on the raw wall clock`
+}
+
+// Allowed demonstrates the suppression grammar.
+func Allowed() {
+	//firstlint:allow clockonly fixture demonstrates the documented escape hatch
+	time.Sleep(time.Millisecond)
+}
+
+// Measuring durations (as opposed to waiting on them) is not clockonly's
+// business; no finding here.
+func Span(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}

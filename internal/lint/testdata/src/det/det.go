@@ -1,0 +1,60 @@
+// Fixture for the det analyzer, loaded under the synthetic import path
+// github.com/argonne-first/first/internal/sim so the deterministic-package
+// scope rules apply.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Wall() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time.Since`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(6) // want `global rand.Intn draws from the shared process-wide source`
+}
+
+// SeededDraw builds an explicitly seeded generator: the ctor is fine, and
+// Intn on the instance is a method, not the global source.
+func SeededDraw(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+func Launch(fn func()) {
+	go fn() // want `goroutine launch in deterministic package internal/sim`
+}
+
+func UnsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys gathers then sorts, so the iteration order cannot escape.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Allowed demonstrates the suppression grammar on a commutative fold.
+func Allowed(m map[string]int) int {
+	n := 0
+	//firstlint:allow det commutative sum: iteration order cannot change the result
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+// Fixture for directive health: unknown verbs, unknown analyzers, unused
+// allows, and misplaced //first: directives are all findings. Loaded with
+// no analyzers so nothing can consume the allows.
+package dirfixture
+
+func Bogus() int {
+	x := 1 //firstlint:bogus nope // want `unknown firstlint directive "bogus"`
+	return x
+}
+
+func UnknownAnalyzer() int {
+	y := 2 //firstlint:allow nosuch because reasons // want `names unknown analyzer nosuch`
+	return y
+}
+
+func Unused() int {
+	z := 3 //firstlint:allow det stale suppression // want `unused //firstlint:allow det`
+	return z
+}
+
+func Misplaced() int {
+	//first:hotpath // want `must appear in a function declaration's doc comment`
+	return 4
+}
+
+//first:coldpath // want `unknown directive //first:coldpath`
+func UnknownFirst() int {
+	return 5
+}
+
+//first:hotpath // want `on a bodyless declaration`
+func External() int

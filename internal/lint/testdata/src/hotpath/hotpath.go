@@ -1,0 +1,38 @@
+// Fixture for the hotpath analyzer's reverse and forward checks. The pins
+// live in hotpath_test.go.
+package hotfixture
+
+// Pinned is measured directly by the 0-alloc pin; annotated, so no finding.
+//
+//first:hotpath
+func Pinned() int {
+	return helper() + 1
+}
+
+// helper is not pinned directly but is reachable from Pinned through the
+// static call graph, so its annotation is covered.
+//
+//first:hotpath
+func helper() int {
+	return 2
+}
+
+// Unpinned carries the annotation but nothing pins it.
+//
+//first:hotpath
+func Unpinned() int { // want `Unpinned is annotated //first:hotpath but no 0-alloc AllocsPerRun pin reaches it`
+	return 3
+}
+
+// Missing is pinned 0-alloc by the test but lacks the annotation —
+// removing //first:hotpath from a pinned function must be a finding.
+func Missing() int { // want `Missing is pinned 0-alloc by an AllocsPerRun test but lacks //first:hotpath`
+	return 4
+}
+
+// Loose is measured with a nonzero budget (> 1): budgeted pins bind
+// nothing, so no annotation is required.
+func Loose() *int {
+	x := 5
+	return &x
+}

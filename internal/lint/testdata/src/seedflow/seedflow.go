@@ -1,0 +1,77 @@
+// Fixture for the seedflow analyzer, loaded under the synthetic import path
+// github.com/argonne-first/first/internal/chaosnet so the seed-minting scope
+// rules apply. Mix and Draw stand in for the shared splitmix64 finalizer and
+// a draw sink; seedflow recognizes both by callee name.
+package chaosnet
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	return x * 0x9e3779b97f4a7c15
+}
+
+func Draw(seed, key uint64) uint64 {
+	return Mix(seed ^ key)
+}
+
+type Config struct {
+	Seed uint64
+}
+
+func AdHocStream(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6) // want `rand.New builds an ad-hoc stream` `rand.NewSource builds an ad-hoc stream`
+}
+
+func HashSeed(name string) uint64 {
+	h := fnv.New64a() // want `fnv hash in seed-minting code without a Mix call in HashSeed`
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// HashSeedFinalized folds the hash through Mix, so the fnv use is fine.
+func HashSeedFinalized(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return Mix(h.Sum64())
+}
+
+func FoldedDraw(seed, idx uint64) uint64 {
+	return Draw(seed^idx, 0) // want `seed folded from 2 variables by xor without Mix`
+}
+
+// MixedDraw is the blessed derivation: a Mix inside the fold.
+func MixedDraw(seed, idx uint64) uint64 {
+	return Draw(Mix(seed)^idx, 0)
+}
+
+// DomainSeparated xors with a constant lane tag — one variable, safe.
+func DomainSeparated(seed uint64) uint64 {
+	return Draw(seed^0x401, 0)
+}
+
+// CellSeeds reproduces the PR 7 cell-seed bug shape: a Seed-named variable
+// assigned an unfinalized xor-fold of two variables.
+func CellSeeds(base uint64, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		cellSeed := base ^ uint64(i)<<40 // want `seed folded from 2 variables by xor without Mix`
+		out = append(out, cellSeed)
+	}
+	return out
+}
+
+func BuildConfig(a, b uint64) Config {
+	return Config{
+		Seed: a ^ b, // want `seed folded from 2 variables by xor without Mix`
+	}
+}
+
+// Allowed demonstrates the suppression grammar.
+func Allowed(a, b uint64) uint64 {
+	//firstlint:allow seedflow fixture stands in for a committed calibration schedule
+	return Draw(a^b, 1)
+}

@@ -45,11 +45,15 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//first:hotpath pinned by the stripe AllocsPerRun suite (stripe_test.go)
 func (c *Counter) Inc() {
 	c.stripes[mrand.Uint64()&(counterStripes-1)].v.Add(1)
 }
 
 // Add adds n (negative values are ignored to preserve monotonicity).
+//
+//first:hotpath pinned by the stripe AllocsPerRun suite (stripe_test.go)
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.stripes[mrand.Uint64()&(counterStripes-1)].v.Add(n)
@@ -75,6 +79,8 @@ type Gauge struct {
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the value by delta (may be negative).
+//
+//first:hotpath shares the Add pin with Counter.Add (stripe_test.go)
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current value.

@@ -104,6 +104,8 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // Allow reports whether a request may proceed at time now, reserving a
 // probe slot when the breaker is half-open (the caller must Record the
 // outcome to release it). Closed-state calls are lock-free and 0 allocs/op.
+//
+//first:hotpath pinned by the breaker AllocsPerRun suite (resilience_test.go)
 func (b *Breaker) Allow(now time.Time) bool {
 	if State(b.state.Load()) == Closed {
 		return true
@@ -117,6 +119,8 @@ func (b *Breaker) Allow(now time.Time) bool {
 // it reports whether Allow would admit a request without reserving a
 // half-open probe slot, so a routing pass over N candidates does not burn
 // N probes. Closed-state calls are lock-free and 0 allocs/op.
+//
+//first:hotpath pinned by the breaker AllocsPerRun suite (resilience_test.go)
 func (b *Breaker) CanAttempt(now time.Time) bool {
 	if State(b.state.Load()) == Closed {
 		return true

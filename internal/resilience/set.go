@@ -64,6 +64,8 @@ func (s *Set) getOrCreate(id string) *member {
 
 // CanAttempt reports whether routing may consider endpoint id at time now
 // without reserving a probe. 0 allocs/op on the closed path.
+//
+//first:hotpath pinned by the breaker AllocsPerRun suite (resilience_test.go)
 func (s *Set) CanAttempt(id string, now time.Time) bool {
 	e := s.lookup(id)
 	if e == nil {

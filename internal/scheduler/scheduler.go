@@ -318,6 +318,7 @@ func (s *Scheduler) after(d time.Duration, fn func()) {
 		s.cfg.Timer(d, fn)
 		return
 	}
+	//firstlint:allow det default wall-clock timer for live mode; DES harnesses inject cfg.Timer and never reach this goroutine
 	go func() {
 		s.clk.Sleep(d)
 		fn()
@@ -385,6 +386,9 @@ func (s *Scheduler) Close() {
 	for id := range s.active {
 		activeIDs = append(activeIDs, id)
 	}
+	// Terminate in submission (ID) order: finish fires completion
+	// callbacks, and map order must not leak into their sequence.
+	sort.Slice(activeIDs, func(i, j int) bool { return activeIDs[i] < activeIDs[j] })
 	s.mu.Unlock()
 	for _, j := range queued {
 		s.endLockedPublic(j)

@@ -45,6 +45,7 @@ func NewLiveEngine(eng *Engine, clk clock.Clock) *LiveEngine {
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	//firstlint:allow det LiveEngine is the wall-clock wrapper around the deterministic engine; the serving loop goroutine is the live-mode contract
 	go l.loop()
 	return l
 }
@@ -87,6 +88,8 @@ func (l *LiveEngine) Generate(ctx context.Context, promptTok, outputTok int) Com
 }
 
 // Depth reports waiting+running load for routing decisions.
+//
+//first:hotpath shares the Depth pin with Engine.Depth (engine_test.go)
 func (l *LiveEngine) Depth() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -122,6 +125,7 @@ func (l *LiveEngine) Close() {
 	l.waiters = make(map[int64]chan Completion)
 	l.mu.Unlock()
 	close(l.done)
+	//firstlint:allow det every pending waiter gets the same ErrClosed on its own buffered channel; delivery order is unobservable
 	for _, ch := range pending {
 		ch <- Completion{Err: ErrClosed}
 	}

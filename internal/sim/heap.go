@@ -8,6 +8,8 @@ package sim
 // array, which doubles as the free list.
 
 // heapPush appends ev and restores the heap property.
+//
+//first:hotpath overflow push, reached through the Schedule pin
 func (k *Kernel) heapPush(ev event) {
 	k.heap = append(k.heap, ev)
 	h := k.heap
@@ -24,6 +26,8 @@ func (k *Kernel) heapPush(ev event) {
 }
 
 // heapPop removes and returns the root event.
+//
+//first:hotpath overflow pop, reached through the Run pin
 func (k *Kernel) heapPop() event {
 	h := k.heap
 	root := h[0]

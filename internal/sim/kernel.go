@@ -113,6 +113,8 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Schedule runs fn after delay. Negative delays are clamped to zero (the
 // event still sorts after already-scheduled events at the same instant).
+//
+//first:hotpath pinned by TestKernelSteadyStateAllocs (sim_test.go)
 func (k *Kernel) Schedule(delay time.Duration, fn func()) {
 	if fn == nil {
 		return
@@ -169,6 +171,8 @@ func (k *Kernel) Reset() {
 // the virtual time at which the run ended. Same-instant events are dispatched
 // as one batch: the run loop drains every event carrying the current
 // timestamp from its bucket before re-scanning the queue.
+//
+//first:hotpath pinned by TestKernelSteadyStateAllocs (sim_test.go)
 func (k *Kernel) Run(until Time) Time {
 	// A Stop issued before Run (previously lost — Run cleared the flag on
 	// entry) skips the loop entirely; the flag is consumed either way.
