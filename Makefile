@@ -5,7 +5,7 @@ GO ?= go
 # (make fuzz FUZZTIME=60s).
 FUZZTIME ?= 3s
 
-.PHONY: all check fmt vet build test fuzz lint race chaos calibrate bench bench-diff federate-night autoscale-night livefed-night
+.PHONY: all check fmt vet build test fuzz lint race chaos calibrate bench bench-diff par-diff federate-night autoscale-night livefed-night
 
 all: check
 
@@ -65,18 +65,28 @@ bench:
 bench-diff:
 	$(GO) run ./cmd/first-bench -diff
 
+# par-diff runs the parallel-kernel byte-identity suite on the short
+# families: federate, autoscale, and the livefed calibration twin must be
+# byte-identical across -par worker counts (1/2/8) and queue kinds against
+# the Par=1 zero-goroutine reference. Required per-PR CI job; the nightly
+# matrix legs run the full-scale versions (TestFederateFullScalePar,
+# TestAutoScaleFullScalePar).
+par-diff:
+	$(GO) test -run '^TestParDiff|^TestParFederateCompletes$$' -v ./internal/experiments
+
 # federate-night runs the full-scale federation determinism suite — 10⁶
 # open-loop requests + 10⁴ WebUI sessions, byte-identical across worker
-# counts and queue kinds. Too slow for per-PR CI; the nightly job runs it.
+# counts and queue kinds, plus the parallel-kernel gate (FullScalePar).
+# Too slow for per-PR CI; the nightly job runs it.
 federate-night:
-	FIRST_FEDERATE_FULL=1 $(GO) test -run '^TestFederateFullScale$$' -v -timeout 30m ./internal/experiments
+	FIRST_FEDERATE_FULL=1 $(GO) test -run '^TestFederateFullScale' -v -timeout 30m ./internal/experiments
 
 # autoscale-night runs the full-scale auto-scaling determinism suite — the
 # complete diurnal/bursty family with every elasticity assertion,
 # byte-identical across worker counts and queue kinds. Per-PR CI keeps the
 # scaled-down family as the fast guard; the nightly job runs this one.
 autoscale-night:
-	FIRST_AUTOSCALE_FULL=1 $(GO) test -run '^TestAutoScaleFullScale$$' -v -timeout 30m ./internal/experiments
+	FIRST_AUTOSCALE_FULL=1 $(GO) test -run '^TestAutoScaleFullScale' -v -timeout 30m ./internal/experiments
 
 # calibrate runs the per-PR calibration gate: the short livefed cell live,
 # its executed schedule replayed into the DES twin, rung shares within

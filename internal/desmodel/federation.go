@@ -208,12 +208,23 @@ type fedDep struct {
 
 // fedCluster is one simulated cluster: real inventory, real scheduler, one
 // deployment pool per model.
+//
+// k is the kernel the cluster's events run on: the federation kernel
+// sequentially, the cluster's own shard under the parallel mode (par.go) —
+// instance lifecycle, scheduler timers, engine stepping, background churn,
+// and the scaler all schedule here, never on the router's kernel. All
+// per-cluster counters are single-writer: routed is written router-side
+// (the routing decision), everything else cluster-side.
 type fedCluster struct {
 	f     *Federation
 	idx   int
+	k     *sim.Kernel
+	shard int // this cluster's ShardSet index (idx+1; router is shard 0)
+	name  string
 	cl    *cluster.Cluster
 	sched *scheduler.Scheduler
 	deps  []*fedDep
+	snap  fedSnap
 
 	routed, served     int64
 	coldStarts, drains int
@@ -232,10 +243,14 @@ type fedCluster struct {
 // churning through the full Queued→Starting→Running→drain/kill lifecycle and
 // the auto-scaler growing and shrinking them with demand.
 type Federation struct {
+	// k is the router kernel: gateway admission, routing decisions, rung and
+	// migration counters, and the replay cursor all run here. Sequentially it
+	// is the run's only kernel; under the parallel mode it is shard 0 of the
+	// ShardSet and every cluster owns its own shard (par.go).
 	k *sim.Kernel
 	p FederationParams
 
-	newEngine func(m perfmodel.ModelSpec, onComplete func(*serving.Sequence)) *EngineSim
+	newEngine func(c *fedCluster, m perfmodel.ModelSpec, onComplete func(*serving.Sequence)) *EngineSim
 	// recycle, when set, returns a dead incarnation's inner engine to the
 	// arena pool so the next cold restart reuses it.
 	recycle func(*serving.Engine)
@@ -248,13 +263,18 @@ type Federation struct {
 
 	replay *fedReplay
 
+	// par, when set, is the conservative-window sharding state; nil keeps
+	// the sequential single-kernel behaviour byte-for-byte.
+	par *parState
+
 	rungs      FedRungs
 	migrations int64
-	// arrivals/completions are the conservation counters the property suite
-	// checks: every request that arrives completes exactly once, across any
-	// number of drains, kills, cancels, and scale-downs.
-	arrivals    int64
-	completions int64
+	// arrivals is half of the conservation invariant the property suite
+	// checks (the other half, completions, is Σ clusters' served — written
+	// cluster-side so the parallel mode keeps every counter single-writer):
+	// every request that arrives completes exactly once, across any number
+	// of drains, kills, cancels, and scale-downs.
+	arrivals int64
 }
 
 func (p FederationParams) withDefaults() FederationParams {
@@ -314,9 +334,9 @@ func (p FederationParams) withDefaults() FederationParams {
 // NewFederation builds the scenario on a bare kernel (unit tests).
 func NewFederation(k *sim.Kernel, p FederationParams, done func(*Req)) *Federation {
 	p = p.withDefaults()
-	return newFederation(k, p, func(m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
-		return MustEngineSim(k, m, p.GPU, 0, onC)
-	}, done)
+	return newFederation(k, p, func(c *fedCluster, m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
+		return MustEngineSim(c.k, m, p.GPU, 0, onC)
+	}, done, nil)
 }
 
 // NewFederationIn builds the scenario drawing kernel and engines from an
@@ -325,33 +345,40 @@ func NewFederation(k *sim.Kernel, p FederationParams, done func(*Req)) *Federati
 // dies and the pool recycles its engine for the next cold start.
 func NewFederationIn(a *Arena, p FederationParams, done func(*Req)) *Federation {
 	p = p.withDefaults()
-	f := newFederation(a.k, p, func(m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
+	f := newFederation(a.k, p, func(c *fedCluster, m perfmodel.ModelSpec, onC func(*serving.Sequence)) *EngineSim {
 		return a.EngineSimIn(m, p.GPU, 0, onC)
-	}, done)
+	}, done, nil)
 	f.recycle = a.Reclaim
 	return f
 }
 
-func newFederation(k *sim.Kernel, p FederationParams, newEngine func(perfmodel.ModelSpec, func(*serving.Sequence)) *EngineSim, done func(*Req)) *Federation {
+func newFederation(k *sim.Kernel, p FederationParams, newEngine func(*fedCluster, perfmodel.ModelSpec, func(*serving.Sequence)) *EngineSim, done func(*Req), par *parState) *Federation {
 	f := &Federation{
 		k:         k,
 		p:         p,
 		newEngine: newEngine,
 		done:      done,
+		par:       par,
 		fe:        newShardFE(k, p.Shards, p.CritSection),
 		scratch:   make([]federation.EndpointInfo, 0, p.Clusters),
 	}
 	for i := 0; i < p.Clusters; i++ {
-		c := &fedCluster{f: f, idx: i}
+		c := &fedCluster{f: f, idx: i, k: k}
+		if par != nil {
+			c.shard = i + 1
+			c.k = par.ss.Shard(c.shard)
+		}
 		c.cl = cluster.New(fmt.Sprintf("fed-%d", i), p.NodesPerCluster, p.GPUsPerNode, p.GPU)
-		c.sched = scheduler.New(c.cl, kernelClock{k}, scheduler.Config{
+		c.name = c.cl.Name()
+		c.sched = scheduler.New(c.cl, kernelClock{c.k}, scheduler.Config{
 			Prologue: p.Prologue,
 			Backfill: true,
-			Timer:    k.Schedule,
+			Timer:    c.k.Schedule,
 		})
 		for m := range p.Models {
 			c.deps = append(c.deps, &fedDep{f: f, c: c, model: m})
 		}
+		c.snap.deps = make([]fedDepSnap, len(p.Models))
 		f.clusters = append(f.clusters, c)
 		if p.BGPeriod > 0 && p.BGGPUs > 0 {
 			// Background jobs self-schedule forever; open-loop drivers end
@@ -359,9 +386,9 @@ func newFederation(k *sim.Kernel, p FederationParams, newEngine func(perfmodel.M
 			var bg func()
 			bg = func() {
 				c.submitBG()
-				k.Schedule(p.BGPeriod, bg)
+				c.k.Schedule(p.BGPeriod, bg)
 			}
-			k.Schedule(p.BGStagger*time.Duration(i)+p.BGPeriod/2, bg)
+			c.k.Schedule(p.BGStagger*time.Duration(i)+p.BGPeriod/2, bg)
 		}
 		if p.Scale.MaxInstances > 1 {
 			// The scaler ticks per cluster, evaluating every deployment pool
@@ -431,15 +458,7 @@ func (f *Federation) route(r *Req) {
 	infos := f.scratch[:0]
 	for i := 0; i < n; i++ {
 		c := f.clusters[(m+i)%n]
-		d := c.deps[m]
-		infos = append(infos, federation.EndpointInfo{
-			ID:         c.cl.Name(),
-			ModelState: d.modelState(),
-			FreeGPUs:   c.cl.Status().FreeGPUs,
-			NeededGPUs: spec.TensorParallel,
-			Depth:      d.depth(),
-			Instances:  d.servingCount(),
-		})
+		infos = append(infos, c.endpointInfo(m, spec))
 	}
 	f.scratch = infos[:0]
 	idx, reason, err := federation.Select(infos)
@@ -456,14 +475,64 @@ func (f *Federation) route(r *Req) {
 	}
 	target := f.clusters[(m+idx)%n]
 	target.routed++
-	target.deps[m].offer(r)
+	f.deliver(target, m, r)
 }
 
-// migrate re-routes a request whose placement died.
-func (f *Federation) migrate(r *Req) {
+// endpointInfo is one cluster's routing-ladder candidate row. Sequentially
+// it reads the cluster's live state (the router and the cluster share a
+// kernel, so "live" is exact); under the parallel mode it reads the snapshot
+// published at the last window barrier — the same staleness a live
+// federation's status poller has, bounded by the lookahead.
+func (c *fedCluster) endpointInfo(m int, spec *perfmodel.ModelSpec) federation.EndpointInfo {
+	if c.f.par != nil {
+		s := &c.snap.deps[m]
+		return federation.EndpointInfo{
+			ID:         c.name,
+			ModelState: s.state,
+			FreeGPUs:   c.snap.freeGPUs,
+			NeededGPUs: spec.TensorParallel,
+			Depth:      s.depth,
+			Instances:  s.serving,
+		}
+	}
+	d := c.deps[m]
+	return federation.EndpointInfo{
+		ID:         c.name,
+		ModelState: d.modelState(),
+		FreeGPUs:   c.cl.Status().FreeGPUs,
+		NeededGPUs: spec.TensorParallel,
+		Depth:      d.depth(),
+		Instances:  d.servingCount(),
+	}
+}
+
+// deliver hands a routed request to its target deployment: directly when
+// router and cluster share a kernel, through the target shard's mailbox
+// (paying the cross-shard latency that funds the lookahead) under the
+// parallel mode.
+func (f *Federation) deliver(c *fedCluster, m int, r *Req) {
+	if f.par == nil {
+		c.deps[m].offer(r)
+		return
+	}
+	f.par.send(0, c.shard, func() { c.deps[m].offer(r) })
+}
+
+// migrateFrom re-routes a request whose placement on this cluster died. The
+// routing decision is router state, so under the parallel mode the request
+// rides the cluster→router mailbox before re-entering route.
+func (c *fedCluster) migrateFrom(r *Req) {
 	r.Migrations++
-	f.migrations++
-	f.route(r)
+	f := c.f
+	if f.par == nil {
+		f.migrations++
+		f.route(r)
+		return
+	}
+	f.par.send(c.shard, 0, func() {
+		f.migrations++
+		f.route(r)
+	})
 }
 
 // modelState aggregates the pool's lifecycle onto the paper's §4.3 states:
@@ -517,7 +586,7 @@ func (d *fedDep) depth() int {
 // if it is empty) otherwise.
 func (d *fedDep) offer(r *Req) {
 	if in := d.pickServing(); in != nil {
-		r.EngineAt = d.f.k.Now()
+		r.EngineAt = d.c.k.Now()
 		in.eng.Submit(r.PromptTok, r.OutputTok, r)
 		return
 	}
@@ -564,7 +633,7 @@ func (in *fedInstance) onJobRunning(j *scheduler.Job, load time.Duration) {
 		return
 	}
 	in.state = instLoading
-	in.d.f.k.Schedule(load, func() { in.onLoaded(j) })
+	in.d.c.k.Schedule(load, func() { in.onLoaded(j) })
 }
 
 // onLoaded opens the instance for traffic: the engine incarnation is
@@ -578,10 +647,10 @@ func (in *fedInstance) onLoaded(j *scheduler.Job) {
 	f := d.f
 	spec := f.p.Models[d.model]
 	in.state = instServing
-	in.eng = f.newEngine(spec, func(seq *serving.Sequence) { in.onServed(j, seq) })
+	in.eng = f.newEngine(d.c, spec, func(seq *serving.Sequence) { in.onServed(j, seq) })
 	pend := d.pending
 	d.pending = nil
-	now := f.k.Now()
+	now := d.c.k.Now()
 	for _, r := range pend {
 		// Flush least-loaded across the pool: sibling instances may have
 		// come up at the same instant.
@@ -589,7 +658,7 @@ func (in *fedInstance) onLoaded(j *scheduler.Job) {
 		r.EngineAt = now
 		t.eng.Submit(r.PromptTok, r.OutputTok, r)
 	}
-	f.k.Schedule(f.p.ServeWalltime, func() { in.beginDrain(j, false) })
+	d.c.k.Schedule(f.p.ServeWalltime, func() { in.beginDrain(j, false) })
 }
 
 // onServed completes one request and, while draining, watches for the batch
@@ -597,13 +666,20 @@ func (in *fedInstance) onLoaded(j *scheduler.Job) {
 func (in *fedInstance) onServed(j *scheduler.Job, seq *serving.Sequence) {
 	r := seq.Ctx.(*Req)
 	d := in.d
-	now := d.f.k.Now()
+	f := d.f
+	now := d.c.k.Now()
 	r.CompletedAt = now
 	r.ObservedAt = now
 	d.c.served++
-	d.f.completions++
-	if d.f.done != nil {
-		d.f.done(r)
+	if f.done != nil {
+		if f.par != nil {
+			// The completion callback drives router-side state (closed-loop
+			// re-issue, open-loop stop accounting): hop it home through the
+			// cluster→router mailbox.
+			f.par.send(d.c.shard, 0, func() { f.done(r) })
+		} else {
+			f.done(r)
+		}
 	}
 	if in.state == instDraining && in.job == j {
 		in.maybeFinishDrain(j)
@@ -620,7 +696,7 @@ func (in *fedInstance) maybeFinishDrain(j *scheduler.Job) {
 		return
 	}
 	in.drainDone = true
-	in.d.f.k.Schedule(0, func() { in.finishDrain(j) })
+	in.d.c.k.Schedule(0, func() { in.finishDrain(j) })
 }
 
 // beginDrain stops the instance accepting work: its engine-waiting requests
@@ -655,7 +731,7 @@ func (in *fedInstance) beginDrain(j *scheduler.Job, scaleDown bool) {
 		in.eng.Abort(w.id)
 	}
 	for _, w := range ws {
-		d.f.migrate(w.r)
+		d.c.migrateFrom(w.r)
 	}
 	in.maybeFinishDrain(j)
 }
@@ -715,11 +791,11 @@ func (in *fedInstance) onJobEnd(j *scheduler.Job, terminal scheduler.State) {
 		pend := d.pending
 		d.pending = nil
 		for _, r := range pend {
-			f.migrate(r)
+			d.c.migrateFrom(r)
 		}
 	}
 	for _, r := range orphans {
-		f.migrate(r)
+		d.c.migrateFrom(r)
 	}
 }
 
@@ -748,7 +824,16 @@ func (f *Federation) Arrivals() int64 { return f.arrivals }
 
 // Completions returns how many requests were completed and delivered — the
 // conservation invariant's other half (no request lost, none double-done).
-func (f *Federation) Completions() int64 { return f.completions }
+// It sums the per-cluster served counters, which are cluster-side state:
+// under the parallel mode, read it only between runs or from a window
+// barrier (StopWhen / OnBarrier), never inside a router event.
+func (f *Federation) Completions() int64 {
+	var n int64
+	for _, c := range f.clusters {
+		n += c.served
+	}
+	return n
+}
 
 // ClusterStats snapshots per-cluster accounting, folding in any still-live
 // engine incarnations (closed-loop runs end mid-flight, including mid-drain:

@@ -1,0 +1,218 @@
+package desmodel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/argonne-first/first/internal/chaosnet"
+	"github.com/argonne-first/first/internal/resilience"
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// parTrial is one randomized federation topology: cluster count, lookahead,
+// churn tempo (walltime drains, hard kills via tight grace, background
+// claims), and an arrival trace, all drawn from the trial seed.
+type parTrial struct {
+	p    FederationParams
+	par  ParParams
+	n    int
+	gaps []sim.Time
+	reqs []Req
+}
+
+func makeParTrial(seed int64, withReplay bool) (parTrial, *chaosnet.Schedule) {
+	rng := sim.NewRNG(seed)
+	clusters := 2 + rng.Intn(7) // 2..8
+	t := parTrial{n: 400 + rng.Intn(400)}
+	t.p = FederationParams{
+		Clusters: clusters,
+		// Short walltimes against a long horizon force drains; a tight grace
+		// forces hard kills mid-batch; both generate migrations.
+		ServeWalltime: time.Duration(40+rng.Intn(120)) * time.Second,
+		DrainGrace:    time.Duration(5+rng.Intn(20)) * time.Second,
+		BGPeriod:      time.Duration(60+rng.Intn(240)) * time.Second,
+	}
+	if rng.Intn(2) == 0 {
+		t.p.Scale = AutoScaleParams{MaxInstances: 2 + rng.Intn(3)}
+	}
+	t.par = ParParams{
+		CrossLatency: time.Duration(1+rng.Intn(200)) * time.Millisecond,
+		MaxEvents:    20_000_000, // hang guard: a lost request loops forever
+	}
+	models := 3
+	if withReplay {
+		// Replayed churn mirrors the livefed twin's shape: a single served
+		// model on a 4×4-GPU inventory, so a 4-GPU background claim can
+		// never starve the pool a parked request waits on.
+		models = 1
+		t.p.Models = DefaultFederationModels()[:1]
+		t.p.NodesPerCluster = 4
+		t.p.GPUsPerNode = 4
+	}
+	mean := 50 * float64(time.Millisecond)
+	for i := 0; i < t.n; i++ {
+		t.gaps = append(t.gaps, sim.Time(rng.Exp(mean)))
+		t.reqs = append(t.reqs, Req{
+			ID:        i + 1,
+			Model:     rng.Intn(models),
+			PromptTok: 16 + rng.Intn(256),
+			OutputTok: 4 + rng.Intn(128),
+		})
+	}
+	if !withReplay {
+		return t, nil
+	}
+	// A replayed churn schedule: random kills, restarts, and GPU claims at
+	// random request indices, plus fault windows feeding the breakers.
+	s := &chaosnet.Schedule{
+		Seed:       uint64(seed)*2654435761 + 1,
+		Endpoints:  clusters,
+		Requests:   t.n,
+		RatePerSec: 20,
+		Windows: chaosnet.Windows{
+			BurstEvery:  40 + rng.Intn(100),
+			BurstLen:    5 + rng.Intn(10),
+			PFault:      0.3,
+			PBackground: 0.1,
+		},
+	}
+	claims := make([]int, clusters)
+	for i := 0; i < 8+rng.Intn(16); i++ {
+		ep := rng.Intn(clusters)
+		at := rng.Intn(t.n - 1)
+		switch rng.Intn(4) {
+		case 0:
+			s.Events = append(s.Events, chaosnet.Event{AtIndex: at, Kind: chaosnet.EventKill, Endpoint: ep})
+		case 1:
+			s.Events = append(s.Events, chaosnet.Event{AtIndex: at, Kind: chaosnet.EventRestart, Endpoint: ep})
+		case 2:
+			if claims[ep] == 0 { // at most one outstanding 4-GPU claim per cluster
+				claims[ep]++
+				s.Events = append(s.Events, chaosnet.Event{AtIndex: at, Kind: chaosnet.EventBGClaim, Endpoint: ep, GPUs: 4})
+			}
+		default:
+			if claims[ep] > 0 {
+				claims[ep]--
+				s.Events = append(s.Events, chaosnet.Event{AtIndex: at, Kind: chaosnet.EventBGRelease, Endpoint: ep})
+			}
+		}
+	}
+	// Revive every pool at the end of the trace so parked (shed/exhausted)
+	// requests complete and the conservation check can demand all n.
+	for ep := 0; ep < clusters; ep++ {
+		s.Events = append(s.Events, chaosnet.Event{AtIndex: t.n - 1, Kind: chaosnet.EventRestart, Endpoint: ep})
+	}
+	s.Sort()
+	t.p.BGPeriod = 0
+	t.p.Scale = AutoScaleParams{}
+	t.p.Replay = &ReplayParams{
+		Schedule: *s,
+		Breaker: resilience.BreakerConfig{
+			Window: 60 * time.Second, Buckets: 12, MinSamples: 4,
+			FailureRate: 0.5, OpenFor: 10 * time.Second, HalfOpenProbes: 1,
+		},
+		MaxAttempts: 1 + rng.Intn(3),
+	}
+	return t, s
+}
+
+// runParTrial executes one trial under the given worker count and queue
+// kind, returning a full observable digest: every request's timeline and
+// migration count, the rung/migration/conservation counters, per-cluster
+// stats, and per-request completion callback counts.
+func runParTrial(t *testing.T, tr parTrial, workers int, q sim.QueueKind) string {
+	reqs := make([]Req, len(tr.reqs))
+	copy(reqs, tr.reqs)
+	doneCount := make([]int, tr.n+1)
+	doneSeen := 0
+	tr.par.Workers = workers
+	f := NewParFederation(tr.p, tr.par, q, func(r *Req) {
+		doneCount[r.ID]++
+		doneSeen++
+	})
+	k := f.RouterKernel()
+	i := 0
+	var step func()
+	step = func() {
+		f.ReplayAdvance(i)
+		f.Arrive(&reqs[i])
+		if i++; i < tr.n {
+			k.Schedule(tr.gaps[i], step)
+		}
+	}
+	k.Schedule(tr.gaps[0], step)
+	// Stop once the nth completion *callback* has landed on the router (the
+	// sequential drivers' Kernel.Stop-on-nth-done, barrier-checked): stopping
+	// on Σ served would drop callbacks still riding the cluster→router
+	// mailboxes.
+	end := f.RunPar(0, func() bool { return doneSeen >= tr.n })
+
+	if got := f.Arrivals(); got != int64(tr.n) {
+		t.Fatalf("arrivals = %d, want %d", got, tr.n)
+	}
+	if got := f.Completions(); got != int64(tr.n) {
+		t.Fatalf("completions = %d, want %d (conservation violated)", got, tr.n)
+	}
+	for id := 1; id <= tr.n; id++ {
+		if doneCount[id] != 1 {
+			t.Fatalf("request %d completed %d times, want exactly once", id, doneCount[id])
+		}
+		if reqs[id-1].CompletedAt == 0 {
+			t.Fatalf("request %d has no completion timestamp", id)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "end=%d rungs=%+v migrations=%d\n", end, f.Rungs(), f.Migrations())
+	for i := range reqs {
+		r := &reqs[i]
+		fmt.Fprintf(&sb, "r%d m%d mig%d a%d g%d e%d c%d\n",
+			r.ID, r.Model, r.Migrations, r.ArrivalAt, r.GatewayAt, r.EngineAt, r.CompletedAt)
+	}
+	for _, cs := range f.ClusterStats() {
+		fmt.Fprintf(&sb, "%s routed=%d served=%d cold=%d drains=%d kills=%d live=%d peak=%d ups=%d downs=%d refused=%d busy=%.6f qpeak=%d\n",
+			cs.Name, cs.Routed, cs.Served, cs.ColdStarts, cs.Drains, cs.HardKills,
+			cs.LiveInstances, cs.PeakInstances, cs.ScaleUps, cs.ScaleDowns,
+			cs.ScaleRefused, cs.BusyGPUSeconds, cs.SchedQueuedPeak)
+	}
+	return sb.String()
+}
+
+// TestParFederationPropertyRandomTopologies is the tentpole's property
+// suite: randomized topologies (2-8 clusters, random lookahead, random
+// drain/kill/background schedules, one replayed-churn trial) must conserve
+// requests, complete each exactly once, and produce byte-identical digests
+// across worker counts 1/2/8 and both queue kinds.
+func TestParFederationPropertyRandomTopologies(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			tr, _ := makeParTrial(9000+int64(trial)*7919, trial == 3)
+			ref := runParTrial(t, tr, 1, sim.QueueCalendar)
+			for _, q := range []sim.QueueKind{sim.QueueCalendar, sim.QueueHeap} {
+				for _, w := range []int{1, 2, 8} {
+					if q == sim.QueueCalendar && w == 1 {
+						continue
+					}
+					if got := runParTrial(t, tr, w, q); got != ref {
+						t.Fatalf("digest diverged at workers=%d queue=%v (clusters=%d, lookahead=%v)\nref:\n%.2000s\ngot:\n%.2000s",
+							w, q, tr.p.Clusters, tr.par.CrossLatency, ref, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParFederationMatchesItselfAcrossRuns pins run-to-run determinism of
+// the parallel mode itself (same config, fresh federation objects).
+func TestParFederationMatchesItselfAcrossRuns(t *testing.T) {
+	tr, _ := makeParTrial(4242, false)
+	a := runParTrial(t, tr, 2, sim.QueueCalendar)
+	b := runParTrial(t, tr, 2, sim.QueueCalendar)
+	if a != b {
+		t.Fatal("identical parallel runs diverged")
+	}
+}

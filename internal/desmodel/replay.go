@@ -101,6 +101,20 @@ func (f *Federation) ReplayAdvance(idx int) {
 		return
 	}
 	rp.nowIdx = idx
+	if f.par != nil {
+		// Churn events mutate cluster state (scheduler kills, restarts, GPU
+		// claims), so under the parallel mode each fires on its cluster's
+		// shard, one cross-shard latency after the cursor reaches it — the
+		// same propagation delay any live control-plane command pays.
+		rp.cur.Advance(idx, func(ev chaosnet.Event) {
+			if ev.Endpoint < 0 || ev.Endpoint >= len(f.clusters) {
+				return
+			}
+			c := f.clusters[ev.Endpoint]
+			f.par.send(0, c.shard, func() { rp.fire(ev) })
+		})
+		return
+	}
 	rp.cur.Advance(idx, rp.fire)
 }
 
@@ -192,16 +206,7 @@ func (f *Federation) routeReplay(r *Req) {
 			if avoided&(1<<uint(ci)) != 0 || !rp.breakers[ci].CanAttempt(now) {
 				continue
 			}
-			c := f.clusters[ci]
-			d := c.deps[m]
-			infos = append(infos, federation.EndpointInfo{
-				ID:         c.cl.Name(),
-				ModelState: d.modelState(),
-				FreeGPUs:   c.cl.Status().FreeGPUs,
-				NeededGPUs: spec.TensorParallel,
-				Depth:      d.depth(),
-				Instances:  d.servingCount(),
-			})
+			infos = append(infos, f.clusters[ci].endpointInfo(m, spec))
 			order = append(order, ci)
 		}
 		f.scratch = infos[:0]
@@ -212,7 +217,7 @@ func (f *Federation) routeReplay(r *Req) {
 			// on the first-configured cluster to complete once that pool
 			// revives — also without a rung count.
 			rp.sheds++
-			f.clusters[m%n].deps[m].offer(r)
+			f.deliver(f.clusters[m%n], m, r)
 			return
 		}
 		sel, reason, err := federation.Select(infos)
@@ -229,7 +234,6 @@ func (f *Federation) routeReplay(r *Req) {
 		}
 		ci := order[sel]
 		c := f.clusters[ci]
-		d := c.deps[m]
 		if !rp.breakers[ci].Allow(now) {
 			// Lost the half-open probe slot between scan and attempt
 			// (cannot happen single-threaded, kept for safety).
@@ -239,11 +243,20 @@ func (f *Federation) routeReplay(r *Req) {
 		attempt := rp.attempt(idx, ci)
 		faulty := idx >= 0 &&
 			rp.p.Schedule.Windows.Faulty(rp.p.Schedule.Seed, idx, ci, n, attempt)
-		placed := len(d.insts) > 0 && !faulty
+		// "Does the pool exist" is cluster state: live sequentially, the
+		// barrier snapshot under the parallel mode (the same staleness the
+		// routing ladder's candidate rows carry).
+		var pool int
+		if f.par != nil {
+			pool = c.snap.deps[m].pool
+		} else {
+			pool = len(c.deps[m].insts)
+		}
+		placed := pool > 0 && !faulty
 		rp.breakers[ci].Record(now, placed)
 		if placed {
 			c.routed++
-			d.offer(r)
+			f.deliver(c, m, r)
 			return
 		}
 		attempts++
@@ -254,7 +267,7 @@ func (f *Federation) routeReplay(r *Req) {
 			// when the pool revives) and stops counting, like the live
 			// census stops routing it.
 			rp.exhausted++
-			d.offer(r)
+			f.deliver(c, m, r)
 			return
 		}
 		// The live gateway's failover re-route.

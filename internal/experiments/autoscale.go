@@ -126,6 +126,12 @@ func RunAutoScaleOn(f Fleet, seed int64) []AutoScaleRow {
 // across worker counts and queue kinds.
 func RunAutoScaleCellsOn(f Fleet, seed int64, cells []AutoScaleCell) []AutoScaleRow {
 	rows := make([]AutoScaleRow, len(cells))
+	if f.Par > 0 {
+		f.Run(len(cells), func(i int) {
+			rows[i] = autoScaleRunPar(f, cells[i], seed)
+		})
+		return rows
+	}
 	f.RunArena(len(cells), func(i int, a *desmodel.Arena) {
 		rows[i] = autoScaleRun(a, cells[i], seed)
 	})

@@ -149,6 +149,19 @@ func RunFederateOn(f Fleet, seed int64) []FederateRow {
 // across worker counts and queue kinds.
 func RunFederateCellsOn(f Fleet, seed int64, cells []FederateCell) []FederateRow {
 	rows := make([]FederateRow, len(cells))
+	if f.Par > 0 {
+		// Sharded conservative-window mode: each cell builds its own shard
+		// set (no arena — shards own their kernels), traces unchanged.
+		f.Run(len(cells), func(i int) {
+			c := cells[i]
+			if c.OpenLoopReqs > 0 {
+				rows[i] = federateOpenPar(f, c, seed)
+			} else {
+				rows[i] = federateWebUIPar(f, c, seed)
+			}
+		})
+		return rows
+	}
 	f.RunArena(len(cells), func(i int, a *desmodel.Arena) {
 		c := cells[i]
 		if c.OpenLoopReqs > 0 {

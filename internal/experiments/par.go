@@ -1,0 +1,115 @@
+package experiments
+
+// Parallel-mode drivers for the federation families: the same traces the
+// sequential drivers generate (same RNG seed derivations, same request
+// shapes), issued onto a desmodel.NewParFederation whose router and clusters
+// run on conservative-window kernel shards. Fleet.Par selects them; the
+// par-diff suite pins every (Par, Queue) combination byte-identical to the
+// Par=1 reference.
+
+import (
+	"time"
+
+	"github.com/argonne-first/first/internal/desmodel"
+	"github.com/argonne-first/first/internal/sim"
+	"github.com/argonne-first/first/internal/workload"
+)
+
+// parParams maps the fleet's Par knob onto the cell's shard configuration.
+func (f Fleet) parParams() desmodel.ParParams {
+	return desmodel.ParParams{
+		Workers:   f.Par,
+		MaxEvents: federateEventBudget,
+	}
+}
+
+// federateOpenPar is federateOpen on the sharded federation: identical trace
+// (seed, gaps, lengths, model draws), with the run stopping at the window
+// barrier after the last completion callback reaches the router.
+func federateOpenPar(f Fleet, c FederateCell, seed int64) FederateRow {
+	p := c.params()
+	n := c.OpenLoopReqs
+	completed := 0
+	sys := desmodel.NewParFederation(p, f.parParams(), f.Queue, func(*desmodel.Req) {
+		completed++
+	})
+	k := sys.RouterKernel()
+	spec := workload.FederateOpen()
+	rng := sim.NewRNG(seed + int64(c.Clusters)*1_000_003 + int64(n))
+	models := len(p.Models)
+	gapMean := float64(time.Second) / c.RatePerSec
+	reqs := make([]*desmodel.Req, n)
+	idx := 0
+	var step func()
+	step = func() {
+		pt, ot := spec.SampleLengths(rng)
+		r := &desmodel.Req{ID: idx + 1, PromptTok: pt, OutputTok: ot, Model: rng.Intn(models)}
+		reqs[idx] = r
+		sys.ReplayAdvance(idx)
+		sys.Arrive(r)
+		idx++
+		if idx < n {
+			k.Schedule(time.Duration(rng.Exp(gapMean)), step)
+		}
+	}
+	k.Schedule(time.Duration(rng.Exp(gapMean)), step)
+	end := sys.RunPar(0, func() bool { return completed >= n })
+	return federateRow(sys, c, "open", n, reqs, end)
+}
+
+// federateWebUIPar is federateWebUI on the sharded federation: the closed
+// loop lives on the router shard (completion callbacks hop home through the
+// cluster→router mailboxes before re-issuing).
+func federateWebUIPar(f Fleet, c FederateCell, seed int64) FederateRow {
+	p := c.params()
+	think := time.Duration(c.ThinkS) * time.Second
+	loop := newClosedLoop(nil, workload.WebUI(), seed+int64(c.Clusters)+int64(c.Sessions), c.Sessions, think)
+	loop.enableChatHistory(8192)
+	models := len(p.Models)
+	loop.assign = func(r *desmodel.Req) { r.Model = r.Session % models }
+	sys := desmodel.NewParFederation(p, f.parParams(), f.Queue, loop.onDone)
+	loop.k = sys.RouterKernel()
+	loop.start(sys)
+	window := time.Duration(c.WindowS) * time.Second
+	end := sys.RunPar(window, nil)
+	return federateRow(sys, c, "webui", loop.issued, loop.finished, end)
+}
+
+// autoScaleRunPar is autoScaleRun on the sharded federation. The demand
+// shape reads the router clock, exactly like the sequential driver reads
+// its single kernel's clock.
+func autoScaleRunPar(f Fleet, c AutoScaleCell, seed int64) AutoScaleRow {
+	p := c.params()
+	n := c.Reqs
+	completed := 0
+	sys := desmodel.NewParFederation(p, f.parParams(), f.Queue, func(*desmodel.Req) {
+		completed++
+	})
+	k := sys.RouterKernel()
+	spec := workload.FederateOpen()
+	rng := sim.NewRNG(seed + int64(c.Clusters)*1_000_003 + int64(n) + int64(len(c.Shape)))
+	models := len(p.Models)
+	mult, hot := c.shapeFns(models)
+	baseGap := float64(time.Second) / c.BaseRatePerSec
+	reqs := make([]*desmodel.Req, n)
+	idx := 0
+	var step func()
+	step = func() {
+		now := k.Now()
+		pt, ot := spec.SampleLengths(rng)
+		m := hot(now)
+		if rng.Float64() >= 0.8 {
+			m = rng.Intn(models)
+		}
+		r := &desmodel.Req{ID: idx + 1, PromptTok: pt, OutputTok: ot, Model: m}
+		reqs[idx] = r
+		sys.Arrive(r)
+		idx++
+		if idx < n {
+			k.Schedule(time.Duration(rng.Exp(baseGap/mult(now))), step)
+		}
+	}
+	k.Schedule(time.Duration(rng.Exp(baseGap)), step)
+	end := sys.RunPar(0, func() bool { return completed >= n })
+	return autoScaleRow(sys, c, n, reqs, end)
+}

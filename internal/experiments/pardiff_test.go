@@ -1,0 +1,112 @@
+package experiments
+
+// The parallel-vs-reference byte-identity suite (`make par-diff`, required
+// CI job): the federate, autoscale, and livefed-twin families must produce
+// identical rows at every -par worker count and under both queue kinds.
+// The reference is Par=1 — the same windowed model executed with zero
+// goroutines — so any divergence isolates a synchronization bug (mailbox
+// ordering, snapshot timing, barrier state) rather than a model change.
+// The full-scale versions fold into the nightly matrix legs
+// (TestFederateFullScalePar, TestAutoScaleFullScalePar).
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/argonne-first/first/internal/chaosnet"
+	"github.com/argonne-first/first/internal/sim"
+)
+
+// parDiffFleets are the configurations pinned against the Par=1 calendar
+// reference.
+var parDiffFleets = []Fleet{
+	{Par: 1, Queue: sim.QueueHeap},
+	{Par: 2, Queue: sim.QueueCalendar},
+	{Par: 2, Queue: sim.QueueHeap},
+	{Par: 8, Queue: sim.QueueCalendar},
+	{Par: 8, Queue: sim.QueueHeap},
+}
+
+func TestParDiffFederate(t *testing.T) {
+	ref := RunFederateCellsOn(Fleet{Par: 1}, DefaultSeed, FederateCellsShort)
+	for _, f := range parDiffFleets {
+		got := RunFederateCellsOn(f, DefaultSeed, FederateCellsShort)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("federate family diverged at par=%d queue=%v:\nref: %+v\ngot: %+v",
+				f.Par, f.Queue, ref, got)
+		}
+	}
+}
+
+func TestParDiffAutoscale(t *testing.T) {
+	ref := RunAutoScaleCellsOn(Fleet{Par: 1}, DefaultSeed, AutoScaleCellsShort)
+	for _, f := range parDiffFleets {
+		got := RunAutoScaleCellsOn(f, DefaultSeed, AutoScaleCellsShort)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("autoscale family diverged at par=%d queue=%v:\nref: %+v\ngot: %+v",
+				f.Par, f.Queue, ref, got)
+		}
+	}
+}
+
+// TestParDiffLiveFedTwin pins the livefed calibration twin — the replayed
+// chaos schedule through breakers, kills, restarts, and background claims —
+// across parallel configurations, without paying for the live half: the
+// schedule is synthesized the way a live run records it (sorted events,
+// fault windows, measured rate), then replayed into the same FederateCell
+// the calibration path builds via simTwin.
+func TestParDiffLiveFedTwin(t *testing.T) {
+	cell := LiveFedCellsShort[0]
+	s := chaosnet.Schedule{
+		Seed:       chaosnet.Mix(uint64(DefaultSeed) ^ 0x9e3779b97f4a7c15),
+		Endpoints:  cell.Clusters,
+		Requests:   cell.Requests,
+		RatePerSec: 40,
+		Windows: chaosnet.Windows{
+			BurstEvery: 60, BurstLen: 8, PFault: 0.35, PBackground: 0.1,
+		},
+	}
+	for i := 40; i+80 < cell.Requests; i += 80 {
+		ep := (i / 80) % cell.Clusters
+		s.Events = append(s.Events,
+			chaosnet.Event{AtIndex: i, Kind: chaosnet.EventKill, Endpoint: ep},
+			chaosnet.Event{AtIndex: i + 25, Kind: chaosnet.EventRestart, Endpoint: ep},
+			chaosnet.Event{AtIndex: i + 10, Kind: chaosnet.EventBGClaim, Endpoint: (ep + 1) % cell.Clusters, GPUs: 4},
+			chaosnet.Event{AtIndex: i + 50, Kind: chaosnet.EventBGRelease, Endpoint: (ep + 1) % cell.Clusters},
+		)
+	}
+	s.Sort()
+	twin := cell.simTwin(s)
+	cells := []FederateCell{twin}
+
+	ref := RunFederateCellsOn(Fleet{Par: 1}, DefaultSeed, cells)
+	for _, f := range parDiffFleets {
+		got := RunFederateCellsOn(f, DefaultSeed, cells)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("livefed twin diverged at par=%d queue=%v:\nref: %+v\ngot: %+v",
+				f.Par, f.Queue, ref, got)
+		}
+	}
+}
+
+// TestParFederateCompletes sanity-checks the parallel drivers against the
+// sequential ones on one small open-loop cell: same offered count, full
+// conservation, and a wall-clock-independent horizon (virtual end times are
+// model-dependent, so only structural fields are compared here — the model
+// variant is *expected* to differ from Par=0; byte-identity holds within
+// the parallel mode, which the tests above enforce).
+func TestParFederateCompletes(t *testing.T) {
+	cell := FederateCell{Clusters: 2, OpenLoopReqs: 5_000, RatePerSec: 200,
+		ServeWalltimeS: 45, DrainGraceS: 15, BGPeriodS: 80}
+	rows := RunFederateCellsOn(Fleet{Par: 2}, DefaultSeed, []FederateCell{cell})
+	r := rows[0]
+	if r.Offered != cell.OpenLoopReqs {
+		t.Fatalf("offered = %d, want %d", r.Offered, cell.OpenLoopReqs)
+	}
+	if r.M.Completed != cell.OpenLoopReqs {
+		t.Fatalf("completed = %d, want %d", r.M.Completed, cell.OpenLoopReqs)
+	}
+	if r.M.MedianLatS <= 0 {
+		t.Fatalf("degenerate latency distribution: %+v", r.M)
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ShardSet runs several kernels — shards — under conservative (CMB-style)
+// windowed synchronization, the parallel-DES mode the federation scenarios
+// use to put each cluster's event stream on its own queue.
+//
+// The contract (see also the "Parallel DES" section of doc.go):
+//
+//   - Every shard owns disjoint model state. Within a window, a shard's
+//     events touch only that shard's state.
+//   - Cross-shard effects travel exclusively through Send, which requires
+//     delay ≥ lookahead. The lookahead is the model's minimum cross-shard
+//     interaction latency; with it, every message sent from a window
+//     [W, W+L) lands at ≥ W+L — never in any shard's past — so shards can
+//     execute a whole window without hearing from each other.
+//   - Each window executes all events with timestamp < W+L, where W is the
+//     minimum next-event time across shards. At the window barrier the
+//     per-pair mailboxes are drained in a fixed (destination, source, FIFO)
+//     order, barrier hooks run, and the stop condition is evaluated.
+//
+// Determinism: a shard's execution within a window is single-threaded and
+// depends only on its own queue, so each mailbox's contents and order are a
+// pure function of the model and the window sequence — identical whether
+// windows execute on one goroutine or eight, and under either queue kind.
+// Mailbox drain assigns destination-kernel sequence numbers in the fixed
+// barrier order, so same-instant deliveries tie-break identically too.
+//
+// Zero lookahead would force W+L = W: no shard could execute anything its
+// peers might still affect, every event would need a barrier, and the
+// structure degrades to the sequential kernel with extra bookkeeping —
+// which is why the sequential kernel remains the Par=0 path rather than a
+// lookahead-0 ShardSet. NewShardSet enforces lookahead ≥ MinLookahead.
+type ShardSet struct {
+	look    Time
+	workers int
+	shards  []*Kernel
+	// mail[src*n+dst] is the (src → dst) mailbox: appended by src's
+	// executor during a window (single writer), drained single-threaded at
+	// the barrier. Backing arrays are recycled, so steady-state traffic
+	// allocates nothing (see MailboxMicro / TestShardMailboxSteadyStateAllocs).
+	mail [][]shardMsg
+	now  Time
+
+	hooks []func(Time)
+	stop  func(Time) bool
+
+	// Fork-join state for Workers > 1, rebuilt per Run.
+	winEnd Time
+	starts []chan struct{}
+	dones  chan struct{}
+	fails  []any
+}
+
+// shardMsg is one mailboxed cross-shard event.
+type shardMsg struct {
+	at Time
+	fn func()
+}
+
+// MinLookahead is the smallest accepted lookahead. Below ~µs granularity a
+// window holds at most a handful of events and barrier overhead dominates;
+// 0 is rejected outright because a zero-lookahead ShardSet is just a slower
+// sequential kernel (every event its own window).
+const MinLookahead = time.Microsecond
+
+// NewShardSet builds n shards of queue kind q under conservative windows of
+// the given lookahead. workers is the executor goroutine count, clamped to
+// [1, n]; 1 executes windows on the calling goroutine (the reference
+// configuration the differential suite pins the others against).
+func NewShardSet(q QueueKind, n int, lookahead Time, workers int) *ShardSet {
+	if n < 1 {
+		panic("sim: ShardSet needs at least one shard")
+	}
+	if lookahead < MinLookahead {
+		panic(fmt.Sprintf("sim: ShardSet lookahead %v below minimum %v (zero lookahead degrades to the sequential kernel)", lookahead, MinLookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	s := &ShardSet{look: lookahead, workers: workers}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, NewKernelWith(q))
+	}
+	s.mail = make([][]shardMsg, n*n)
+	return s
+}
+
+// Shard returns shard i's kernel. Before Run, callers may schedule setup
+// events on it directly; during Run, only shard i's own events may touch it.
+func (s *ShardSet) Shard(i int) *Kernel { return s.shards[i] }
+
+// Shards reports the shard count.
+func (s *ShardSet) Shards() int { return len(s.shards) }
+
+// Lookahead reports the conservative window's lookahead.
+func (s *ShardSet) Lookahead() Time { return s.look }
+
+// Now returns the last barrier time (the virtual time every shard had
+// reached when Run last synchronized, or stopped).
+func (s *ShardSet) Now() Time { return s.now }
+
+// OnBarrier registers a hook to run single-threaded at every window
+// barrier, after mailboxes drain — the place to publish cross-shard state
+// snapshots (e.g. the federation's routing snapshots). Hooks run in
+// registration order and must not call Send.
+func (s *ShardSet) OnBarrier(h func(now Time)) {
+	s.hooks = append(s.hooks, h)
+}
+
+// StopWhen installs the run-termination condition, evaluated at every
+// barrier after hooks. Run returns at the first barrier where it is true.
+func (s *ShardSet) StopWhen(cond func(now Time) bool) {
+	s.stop = cond
+}
+
+// Send schedules fn on shard dst at src's current time plus delay. Called
+// from events executing on shard src (or during single-threaded setup).
+// delay must be ≥ the lookahead — that bound is what lets shards run a
+// whole window without synchronizing; a same-shard send is exempt (it is
+// ordinary local scheduling, not a cross-shard interaction).
+func (s *ShardSet) Send(src, dst int, delay Time, fn func()) {
+	if fn == nil {
+		return
+	}
+	if src == dst {
+		s.shards[src].Schedule(delay, fn)
+		return
+	}
+	if delay < s.look {
+		panic(fmt.Sprintf("sim: cross-shard send delay %v below lookahead %v", delay, s.look))
+	}
+	i := src*len(s.shards) + dst
+	s.mail[i] = append(s.mail[i], shardMsg{at: s.shards[src].now + delay, fn: fn})
+}
+
+// drainMail delivers every mailboxed message into its destination kernel.
+// Single-threaded (barrier context); (dst, src, FIFO) order is the
+// determinism contract — it fixes destination sequence numbers for
+// same-instant deliveries regardless of worker count.
+func (s *ShardSet) drainMail() {
+	n := len(s.shards)
+	for dst := 0; dst < n; dst++ {
+		k := s.shards[dst]
+		for src := 0; src < n; src++ {
+			box := s.mail[src*n+dst]
+			for i := range box {
+				k.At(box[i].at, box[i].fn)
+				box[i].fn = nil // release the closure; keep the backing array
+			}
+			s.mail[src*n+dst] = box[:0]
+		}
+	}
+}
+
+// nextEvent is the conservative bound's input: the minimum next-event time
+// across shards (mailboxes are empty between windows).
+func (s *ShardSet) nextEvent() (Time, bool) {
+	var min Time = math.MaxInt64
+	found := false
+	for _, k := range s.shards {
+		if t, ok := k.NextAt(); ok && (!found || t < min) {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
+// Run executes windows until every shard drains, the stop condition fires
+// at a barrier, or the next window would start past until (until <= 0 means
+// run to exhaustion). It returns the barrier (or clamp) time at which the
+// run ended. Window [W, E): each shard executes its events with timestamp
+// < E via Kernel.Run(E-1) — Time is integer nanoseconds, so `at ≤ E-1` is
+// exactly `at < E`.
+func (s *ShardSet) Run(until Time) Time {
+	w := s.workers
+	if w > 1 {
+		s.startWorkers(w)
+		defer s.stopWorkers()
+	}
+	for {
+		next, ok := s.nextEvent()
+		if !ok {
+			if until > 0 && s.now < until {
+				s.now = until
+			}
+			return s.now
+		}
+		if until > 0 && next > until {
+			s.now = until
+			return s.now
+		}
+		end := next + s.look
+		if end < next { // overflow clamp (far-future sentinel events)
+			end = math.MaxInt64
+		}
+		if until > 0 && end > until+1 {
+			end = until + 1 // execute at ≤ until, like Kernel.Run(until)
+		}
+		s.window(w, end)
+		s.now = end - 1
+		s.drainMail()
+		for _, h := range s.hooks {
+			h(s.now)
+		}
+		if s.stop != nil && s.stop(s.now) {
+			return s.now
+		}
+	}
+}
+
+// window executes one window bound on all shards.
+func (s *ShardSet) window(w int, end Time) {
+	if w <= 1 {
+		for _, k := range s.shards {
+			k.Run(end - 1)
+		}
+		return
+	}
+	s.winEnd = end
+	for j := 1; j < w; j++ {
+		s.starts[j] <- struct{}{}
+	}
+	s.runWorker(0, w)
+	for j := 1; j < w; j++ {
+		<-s.dones
+	}
+	for _, f := range s.fails {
+		if f != nil {
+			panic(f)
+		}
+	}
+}
+
+// runWorker executes worker j's static shard subset (shards j, j+w, ...)
+// for the current window, capturing a panic so the barrier can re-raise it
+// on the coordinator after the fork-join completes (a MaxEvents budget trip
+// inside a worker must surface like the sequential path's would).
+func (s *ShardSet) runWorker(j, w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.fails[j] = r
+		}
+	}()
+	end := s.winEnd
+	for i := j; i < len(s.shards); i += w {
+		s.shards[i].Run(end - 1)
+	}
+}
+
+// startWorkers launches the window executors for one Run. Shards are
+// statically assigned (shard i → worker i mod w): assignment affects only
+// wall-clock, never results — shard state is disjoint within a window and
+// all cross-shard traffic is barrier-ordered.
+func (s *ShardSet) startWorkers(w int) {
+	s.starts = make([]chan struct{}, w)
+	s.dones = make(chan struct{}, w)
+	s.fails = make([]any, w)
+	for j := 1; j < w; j++ {
+		s.starts[j] = make(chan struct{})
+		//firstlint:allow det window executors synchronize exclusively at barriers; all event ordering is fixed by the conservative window contract, not goroutine interleaving
+		go func(j int) {
+			for range s.starts[j] {
+				s.runWorker(j, w)
+				s.dones <- struct{}{}
+			}
+		}(j)
+	}
+}
+
+// stopWorkers releases the executors (they exit when their start channel
+// closes; a worker mid-window has already posted its done before the next
+// window could begin, so closure is race-free).
+func (s *ShardSet) stopWorkers() {
+	for j := 1; j < len(s.starts); j++ {
+		close(s.starts[j])
+	}
+	s.starts = nil
+}
+
+// MailboxMicro returns the shard-mailbox round-trip operation for the
+// substrate micro-benchmark record (BENCH_<n>.json "shard_mailbox"): one
+// cross-shard Send, the barrier drain, and the destination shard consuming
+// the delivery. Steady state allocates nothing — the mailbox's backing
+// array and the destination kernel's event storage are recycled — and
+// TestShardMailboxSteadyStateAllocs pins that with AllocsPerRun.
+func MailboxMicro() func() {
+	s := NewShardSet(QueueCalendar, 2, time.Millisecond, 1)
+	fn := func() {}
+	return func() {
+		s.Send(0, 1, time.Millisecond, fn)
+		s.drainMail()
+		s.shards[1].Run(0)
+	}
+}

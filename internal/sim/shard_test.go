@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNextAtMatchesRun drives both queue kinds through a randomized schedule,
+// asserting that NextAt's peek always names the timestamp of the next
+// dispatched event and that peeking never perturbs dispatch order.
+func TestNextAtMatchesRun(t *testing.T) {
+	for _, q := range []QueueKind{QueueCalendar, QueueHeap} {
+		t.Run(q.String(), func(t *testing.T) {
+			k := NewKernelWith(q)
+			rng := NewRNG(41)
+			var fired []Time
+			// Mixed near/far schedule: the far tail exercises the calendar's
+			// overflow heap and its pull-in during the peek.
+			for i := 0; i < 500; i++ {
+				d := time.Duration(rng.Intn(int(10 * time.Millisecond)))
+				if i%7 == 0 {
+					d = time.Duration(rng.Intn(int(time.Hour)))
+				}
+				k.Schedule(d, func() { fired = append(fired, k.Now()) })
+			}
+			for {
+				at, ok := k.NextAt()
+				if !ok {
+					break
+				}
+				if at2, ok2 := k.NextAt(); !ok2 || at2 != at {
+					t.Fatalf("repeated NextAt disagrees: %v vs %v", at, at2)
+				}
+				n := len(fired)
+				k.Run(at) // executes exactly the batch at `at`
+				if len(fired) == n {
+					t.Fatalf("NextAt=%v but Run(%v) dispatched nothing", at, at)
+				}
+				for _, ft := range fired[n:] {
+					if ft != at {
+						t.Fatalf("NextAt=%v but event fired at %v", at, ft)
+					}
+				}
+			}
+			if len(fired) != 500 {
+				t.Fatalf("dispatched %d of 500 events", len(fired))
+			}
+		})
+	}
+}
+
+func TestNextAtEmptyAndSingle(t *testing.T) {
+	for _, q := range []QueueKind{QueueCalendar, QueueHeap} {
+		k := NewKernelWith(q)
+		if _, ok := k.NextAt(); ok {
+			t.Fatalf("%v: NextAt on empty kernel reported an event", q)
+		}
+		k.Schedule(3*time.Second, func() {})
+		if at, ok := k.NextAt(); !ok || at != 3*time.Second {
+			t.Fatalf("%v: NextAt = %v,%v; want 3s,true", q, at, ok)
+		}
+		k.Run(0)
+		if _, ok := k.NextAt(); ok {
+			t.Fatalf("%v: NextAt after drain reported an event", q)
+		}
+	}
+}
+
+// shardTrace runs a deterministic multi-shard toy model — a ring of shards
+// passing tokens with cross-shard latency ≥ lookahead plus local busywork —
+// and returns a trace of every event execution. The trace must be identical
+// across worker counts and queue kinds.
+func shardTrace(q QueueKind, shards, workers int, look Time, seed int64) string {
+	s := NewShardSet(q, shards, look, workers)
+	// One builder per shard: execution interleaving ACROSS shards within a
+	// window is worker-dependent by design; the contract is that each
+	// shard's own event sequence (and therefore the per-shard traces, read
+	// at the end single-threaded) is identical.
+	logs := make([]strings.Builder, shards)
+	rngs := make([]*RNG, shards)
+	var step func(shard, token, hops int)
+	step = func(shard, token, hops int) {
+		k := s.Shard(shard)
+		fmt.Fprintf(&logs[shard], "s%d t%d h%d @%d\n", shard, token, hops, k.Now())
+		if hops >= 12 {
+			return
+		}
+		// Local busywork: a few same-shard events at sub-lookahead delays.
+		local := time.Duration(rngs[shard].Intn(int(look)))
+		k.Schedule(local, func() {
+			fmt.Fprintf(&logs[shard], "s%d t%d local @%d\n", shard, token, k.Now())
+		})
+		dst := (shard + 1 + rngs[shard].Intn(shards-1)) % shards
+		delay := look + time.Duration(rngs[shard].Intn(int(look)))
+		s.Send(shard, dst, delay, func() { step(dst, token, hops+1) })
+	}
+	for i := 0; i < shards; i++ {
+		rngs[i] = NewRNG(seed + int64(i))
+		tok := i
+		s.Shard(i).Schedule(time.Duration(i)*time.Millisecond, func() { step(tok, tok, 0) })
+	}
+	s.Run(0)
+	var sb strings.Builder
+	for i := range logs {
+		sb.WriteString(logs[i].String())
+	}
+	fmt.Fprintf(&sb, "end @%d\n", s.Now())
+	return sb.String()
+}
+
+// TestShardSetDeterministicAcrossWorkers is the sim-layer half of the
+// differential contract: the same model must produce byte-identical traces
+// at every worker count and under both queue kinds.
+func TestShardSetDeterministicAcrossWorkers(t *testing.T) {
+	for _, shards := range []int{2, 3, 5, 8} {
+		ref := shardTrace(QueueCalendar, shards, 1, 2*time.Millisecond, 7)
+		for _, q := range []QueueKind{QueueCalendar, QueueHeap} {
+			for _, w := range []int{1, 2, 8} {
+				got := shardTrace(q, shards, w, 2*time.Millisecond, 7)
+				if got != ref {
+					t.Fatalf("shards=%d %v workers=%d diverged from calendar/1 reference:\nref:\n%s\ngot:\n%s",
+						shards, q, w, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardSetWindowBound asserts the conservative contract directly: no
+// shard executes an event at or past W+L before the barrier at W+L-1, and
+// cross-shard deliveries are never scheduled into a shard's past.
+func TestShardSetWindowBound(t *testing.T) {
+	look := 5 * time.Millisecond
+	s := NewShardSet(QueueCalendar, 3, look, 1)
+	var barriers []Time
+	s.OnBarrier(func(now Time) { barriers = append(barriers, now) })
+	delivered := 0
+	s.Shard(0).Schedule(time.Millisecond, func() {
+		s.Send(0, 1, look, func() {
+			k := s.Shard(1)
+			if k.Now() != time.Millisecond+look {
+				t.Errorf("delivery at %v, want %v", k.Now(), time.Millisecond+look)
+			}
+			delivered++
+		})
+	})
+	s.Run(0)
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if len(barriers) < 2 {
+		t.Fatalf("expected ≥2 window barriers, got %v", barriers)
+	}
+	// First window starts at W=1ms: barrier at W+L-1.
+	if barriers[0] != time.Millisecond+look-1 {
+		t.Errorf("first barrier at %v, want %v", barriers[0], time.Millisecond+look-1)
+	}
+}
+
+func TestShardSetRunUntilClamp(t *testing.T) {
+	s := NewShardSet(QueueCalendar, 2, time.Millisecond, 1)
+	fired := 0
+	s.Shard(0).Schedule(10*time.Second, func() { fired++ })
+	if end := s.Run(time.Second); end != time.Second {
+		t.Fatalf("end = %v, want 1s", end)
+	}
+	if fired != 0 {
+		t.Fatal("event past until executed")
+	}
+	if end := s.Run(0); end < 10*time.Second {
+		t.Fatalf("resumed end = %v, want ≥10s", end)
+	}
+	if fired != 1 {
+		t.Fatal("event lost across bounded runs")
+	}
+}
+
+func TestShardSetStopWhen(t *testing.T) {
+	s := NewShardSet(QueueCalendar, 2, time.Millisecond, 1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.Shard(0).Schedule(time.Millisecond, tick)
+	}
+	s.Shard(0).Schedule(time.Millisecond, tick)
+	s.StopWhen(func(Time) bool { return count >= 5 })
+	s.Run(0)
+	if count != 5 {
+		t.Fatalf("stopped at count=%d, want 5", count)
+	}
+}
+
+func TestShardSetSendBelowLookaheadPanics(t *testing.T) {
+	s := NewShardSet(QueueCalendar, 2, time.Millisecond, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard send below lookahead did not panic")
+		}
+	}()
+	s.Send(0, 1, time.Microsecond, func() {})
+}
+
+func TestShardSetLookaheadFloor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-minimum lookahead did not panic")
+		}
+	}()
+	NewShardSet(QueueCalendar, 2, 0, 1)
+}
+
+// TestShardSetWorkerPanicPropagates pins that a panic inside a worker
+// goroutine (e.g. a MaxEvents budget trip) surfaces on the coordinator after
+// the fork-join, exactly like the sequential path's would.
+func TestShardSetWorkerPanicPropagates(t *testing.T) {
+	s := NewShardSet(QueueCalendar, 4, time.Millisecond, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Shard(i).Schedule(time.Millisecond, func() {
+			if i == 3 {
+				panic("shard 3 boom")
+			}
+		})
+	}
+	defer func() {
+		if r := recover(); r != "shard 3 boom" {
+			t.Fatalf("recovered %v, want shard 3 boom", r)
+		}
+	}()
+	s.Run(0)
+}
+
+// TestShardMailboxSteadyStateAllocs pins the shard-mailbox round-trip
+// (BENCH "shard_mailbox" micro) at zero steady-state allocations: the
+// mailbox backing array and the destination kernel's event storage recycle.
+func TestShardMailboxSteadyStateAllocs(t *testing.T) {
+	op := MailboxMicro()
+	for i := 0; i < 64; i++ {
+		op() // warm the mailbox and destination-kernel capacity
+	}
+	if allocs := testing.AllocsPerRun(200, op); allocs != 0 {
+		t.Fatalf("shard mailbox round-trip allocates %v/op at steady state, want 0", allocs)
+	}
+}
