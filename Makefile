@@ -41,9 +41,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSSE$$' -fuzztime $(FUZZTIME) ./internal/openaiapi
 
 # race runs the tier-1 suite under the race detector — the gate for the
-# sharded gateway front-end's parallel stress tests.
+# sharded gateway front-end's parallel stress tests. The experiments package
+# regenerates the full bench suite here (TestBenchRecordRoundTrip), which
+# under the detector's ~10× slowdown outgrew go test's default 10-minute
+# package budget; 25m fits the CI race job's 30-minute ceiling.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 # chaos drives the short livefed storm — chaosnet fault transport, endpoint
 # fault bursts, a kill + cold restart mid-run — through the live stack under
@@ -66,11 +69,12 @@ bench-diff:
 	$(GO) run ./cmd/first-bench -diff
 
 # par-diff runs the parallel-kernel byte-identity suite on the short
-# families: federate, autoscale, and the livefed calibration twin must be
-# byte-identical across -par worker counts (1/2/8) and queue kinds against
-# the Par=1 zero-goroutine reference. Required per-PR CI job; the nightly
-# matrix legs run the full-scale versions (TestFederateFullScalePar,
-# TestAutoScaleFullScalePar).
+# families: federate, autoscale (including the predictive/cordon cell, so
+# the forecast and drain-aware-routing paths are pinned per-PR), and the
+# livefed calibration twin must be byte-identical across -par worker counts
+# (1/2/8) and queue kinds against the Par=1 zero-goroutine reference.
+# Required per-PR CI job; the nightly matrix legs run the full-scale
+# versions (TestFederateFullScalePar, TestAutoScaleFullScalePar).
 par-diff:
 	$(GO) test -run '^TestParDiff|^TestParFederateCompletes$$' -v ./internal/experiments
 
@@ -82,9 +86,11 @@ federate-night:
 	FIRST_FEDERATE_FULL=1 $(GO) test -run '^TestFederateFullScale' -v -timeout 30m ./internal/experiments
 
 # autoscale-night runs the full-scale auto-scaling determinism suite — the
-# complete diurnal/bursty family with every elasticity assertion,
-# byte-identical across worker counts and queue kinds. Per-PR CI keeps the
-# scaled-down family as the fast guard; the nightly job runs this one.
+# complete diurnal/bursty family (reactive cells plus their predictive
+# twins) with every elasticity assertion and the predictive-vs-reactive
+# sweep (same-trace p99/refused comparison), byte-identical across worker
+# counts and queue kinds. Per-PR CI keeps the scaled-down family as the
+# fast guard; the nightly job runs this one.
 autoscale-night:
 	FIRST_AUTOSCALE_FULL=1 $(GO) test -run '^TestAutoScaleFullScale' -v -timeout 30m ./internal/experiments
 

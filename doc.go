@@ -124,6 +124,44 @@
 // counts and calendar/heap kernels (scaled-down family per PR, full family
 // nightly via make autoscale-night).
 //
+// # Predictive scaling & drain-aware routing
+//
+// The reactive watermarks above only act after backlog has already built —
+// every wave eats one full cold start (prologue + weights load) before new
+// capacity serves. Setting AutoScaleParams.Predictive arms two
+// forecast-driven pre-warm paths on top of the reactive policy (which keeps
+// running unchanged beneath them). Each deployment feeds a desmodel.Forecast
+// — a Holt double-exponential smoother (level + trend, fixed-size value
+// state, 0 allocs/op on observe and predict; forecast_observe in the BENCH
+// record) — with per-tick arrival and completion counts. At each tick the
+// scaler projects depth one cold start ahead (PredictSum of arrivals minus
+// the completion level over the horizon): when the projection crosses
+// HiWater×live while current depth has not, the incarnation starts now, so
+// its prologue+load overlaps the wave's rise instead of following it. The
+// second path arms a per-incarnation timer one cold start before the
+// serve-walltime drain: a pool with standing work and room starts the
+// replacement early enough to hand over without a gap (a sibling already on
+// the way up does not block it — walltime drains are certain, not
+// speculative). Both paths respect MaxInstances and count as PreWarms in
+// FedClusterStats (also included in ColdStarts: they ride the same
+// scheduler path).
+//
+// Drain-aware routing closes the other half of the churn penalty: with
+// FederationParams.CordonLead set, each serving incarnation is flagged
+// cordoned that long before its walltime drain. Inside a pool, least-loaded
+// selection passes over cordoned incarnations while any uncordoned sibling
+// serves; across clusters, federation.EndpointInfo carries Cordoned and
+// DrainingAt, and Select demotes a cordoned endpoint below every other
+// viable candidate — but still above first-configured, so work is never
+// parked while capacity exists. The live router mirrors this through
+// fabric.Deployment.CordonInfo (instances flagged stopping drop out of the
+// advertised count). All of it is zero-value-off: with Predictive and
+// CordonLead unset, every decision is byte-identical to the reactive
+// policy, pinned by the differential families (the autoscale short family
+// carries one predictive cell through make check and make par-diff, and the
+// full family's predictive twins run reactive-vs-predictive on identical
+// traces in the nightly suite and the BENCH record).
+//
 // # Parallel DES
 //
 // The federation families can run each cell on a sharded kernel

@@ -403,6 +403,13 @@ func (c *Client) streamOnce(ctx context.Context, body []byte, onDelta func(strin
 		}
 		return nil
 	})
+	if err != nil && ctx.Err() != nil {
+		// The caller's cancellation races the transport teardown: the body
+		// closing under the reader surfaces as a truncated stream (or a
+		// read error) first, but the cancellation is the cause. Surface it
+		// so callers classify the call as cancelled, not as damaged.
+		err = fmt.Errorf("%w: %v", ctx.Err(), err)
+	}
 	return full.String(), consumed, err
 }
 

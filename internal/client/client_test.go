@@ -168,6 +168,11 @@ func TestClientCancelMidStream(t *testing.T) {
 		select { // a stalled upstream: no more events until released
 		case <-release:
 		case <-r.Context().Done():
+			// The caller hung up: drop the connection without the DONE
+			// event. Writing DONE here raced the client's own cancellation
+			// path — a fast reader could see a cleanly-terminated stream
+			// and return nil error, flaking the assertion below.
+			return
 		}
 		openaiapi.WriteSSEDone(w)
 	})

@@ -42,6 +42,20 @@ type AutoScaleParams struct {
 	// must hold before the scaler acts.
 	HiSustain int
 	LoSustain int
+
+	// Predictive arms the forecast-driven pre-warm paths (doc.go
+	// "Predictive scaling & drain-aware routing"): each deployment feeds a
+	// Holt forecaster with per-tick arrival counts and starts an
+	// incarnation early when the projection one cold-start ahead crosses
+	// HiWater — and pre-warms a replacement one cold-start before a
+	// serving incarnation's walltime drain. False (the zero value) keeps
+	// the purely reactive PR 5 policy byte-for-byte.
+	Predictive bool
+	// ForecastAlpha / ForecastBeta are the Holt smoothing coefficients
+	// (level / trend) for the arrival forecaster; zero values take the
+	// forecast defaults. Only read when Predictive is set.
+	ForecastAlpha float64
+	ForecastBeta  float64
 }
 
 // DefaultAutoScaleParams are the autoscale experiment family's knobs: grow
@@ -89,6 +103,14 @@ func (s AutoScaleParams) withDefaults() AutoScaleParams {
 	if s.LoSustain <= 0 {
 		s.LoSustain = d.LoSustain
 	}
+	if s.Predictive {
+		if s.ForecastAlpha <= 0 || s.ForecastAlpha > 1 {
+			s.ForecastAlpha = defaultForecastAlpha
+		}
+		if s.ForecastBeta <= 0 || s.ForecastBeta > 1 {
+			s.ForecastBeta = defaultForecastBeta
+		}
+	}
 	return s
 }
 
@@ -135,18 +157,34 @@ func (d *fedDep) servingCount() int {
 }
 
 // pickServing returns the least-loaded serving instance (earliest pool
-// member wins ties), or nil when nothing serves. Allocation-free: this is
-// the per-request instance-selection hot path.
+// member wins ties), or nil when nothing serves. A cordoned instance —
+// one flagged ahead of its imminent walltime drain (CordonLead) — is
+// passed over while any uncordoned sibling serves, and used only as the
+// last resort: capacity that exists must never park a request. With no
+// cordons (the zero-value config) the selection is unchanged.
+// Allocation-free: this is the per-request instance-selection hot path.
 //
 //first:hotpath pinned by the scaler AllocsPerRun sweep (autoscale_test.go)
 func (d *fedDep) pickServing() *fedInstance {
-	var best *fedInstance
+	var best, cordoned *fedInstance
 	for _, in := range d.insts {
-		if in.state == instServing && (best == nil || in.eng.Depth() < best.eng.Depth()) {
+		if in.state != instServing {
+			continue
+		}
+		if in.cordoned {
+			if cordoned == nil || in.eng.Depth() < cordoned.eng.Depth() {
+				cordoned = in
+			}
+			continue
+		}
+		if best == nil || in.eng.Depth() < best.eng.Depth() {
 			best = in
 		}
 	}
-	return best
+	if best != nil {
+		return best
+	}
+	return cordoned
 }
 
 // notePool records pool growth against the per-dep and per-cluster peaks
@@ -173,27 +211,79 @@ func (d *fedDep) notePool() {
 func (d *fedDep) scaleTick() {
 	p := &d.f.p.Scale
 	live := d.liveCount()
+	if live != d.lastLive {
+		// The pool changed size through any path since the last tick — a
+		// drain-driven shrink, a hard kill, a demand-driven start. A streak
+		// measured against the old size must not trigger an immediate
+		// decision against the new one: both watermarks are per-instance,
+		// so the condition has to re-prove itself at the new denominator.
+		// The refusal latch deliberately survives this reset: a pool pinned
+		// at MaxInstances under one standing backlog churns through walltime
+		// drains and replacements without the episode ever ending, and each
+		// churn re-counting the same refusal would inflate ScaleRefused in
+		// proportion to churn rate rather than demand.
+		d.hiStreak, d.loStreak = 0, 0
+		d.lastLive = live
+	}
+	if p.Predictive {
+		// One sample per tick: arrivals routed here and completions served
+		// here since the previous evaluation. Observed before any early
+		// return so the forecast state never gaps.
+		d.fcArrive.Observe(float64(d.arrivedTick))
+		d.fcServe.Observe(float64(d.servedTick))
+		d.arrivedTick, d.servedTick = 0, 0
+	}
 	if live == 0 {
 		// Nothing running and nothing on the way: demand-driven starts own
 		// this regime; the scaler only resets its hysteresis.
 		d.hiStreak, d.loStreak = 0, 0
+		d.hiRefused, d.hiBreak = false, 0
 		return
 	}
 	depth := float64(d.depth())
 	if depth > p.HiWater*float64(live) {
-		d.loStreak = 0
+		d.loStreak, d.hiBreak = 0, 0
 		if d.hiStreak++; d.hiStreak >= p.HiSustain {
 			d.hiStreak = 0
 			if len(d.insts) < p.MaxInstances {
+				// Deliberately not clearing hiRefused: a walltime drain can
+				// dip a capped pool below MaxInstances mid-peak, and the
+				// refill that follows is the same standing episode, not a
+				// new one. Only the condition breaking ends the episode.
 				d.c.scaleUps++
 				d.startInstance()
-			} else {
+			} else if !d.hiRefused {
+				// One refusal per sustained episode: the pool is pinned at
+				// MaxInstances and re-counting the same standing condition
+				// every HiSustain window would inflate ScaleRefused without
+				// carrying information. The latch clears only once the
+				// condition has been gone for HiSustain ticks — neither
+				// pool churn at the cap nor a one-tick flap of the
+				// watermark ends the episode.
+				d.hiRefused = true
 				d.c.scaleRefused++
 			}
 		}
 		return
 	}
 	d.hiStreak = 0
+	if d.hiRefused {
+		// Symmetric hysteresis on the way out: the episode only ends after
+		// the hi condition stays absent as long as it had to stand to act.
+		if d.hiBreak++; d.hiBreak >= p.HiSustain {
+			d.hiRefused, d.hiBreak = false, 0
+		}
+	}
+	if p.Predictive && len(d.insts) < p.MaxInstances && !d.hasUpcoming() &&
+		d.projectedDepth(depth, live) > p.HiWater*float64(live) {
+		// The reactive condition does not hold yet, but the forecast one
+		// cold-start ahead says it will: start the incarnation now so it is
+		// serving — not queued behind a prologue — when the backlog lands.
+		d.loStreak = 0
+		d.c.preWarms++
+		d.startInstance()
+		return
+	}
 	if live > 1 && depth < p.LoWater*float64(live) {
 		if d.loStreak++; d.loStreak >= p.LoSustain {
 			if d.tryScaleDown() {
@@ -207,6 +297,60 @@ func (d *fedDep) scaleTick() {
 	} else {
 		d.loStreak = 0
 	}
+}
+
+// hasUpcoming reports whether an incarnation is already on its way up
+// (queued at the scheduler or loading weights). The predictive paths
+// refuse to stack a second cold start behind one in flight: the forecast
+// cannot know how much of the projected backlog the upcoming instance
+// will absorb until it serves.
+func (d *fedDep) hasUpcoming() bool {
+	for _, in := range d.insts {
+		if in.state == instQueued || in.state == instLoading {
+			return true
+		}
+	}
+	return false
+}
+
+// projectedDepth is the forecast queue depth one cold-start horizon ahead:
+// today's depth, plus the arrivals the Holt forecaster expects during the
+// horizon, minus the completions the service-rate EWMA expects the current
+// pool to absorb. The horizon is the deployment's full cold-start duration
+// (prologue + weights load) expressed in scaler ticks — exactly the lead
+// time a scale-up decision needs to hide.
+func (d *fedDep) projectedDepth(depth float64, live int) float64 {
+	p := &d.f.p.Scale
+	h := int(d.coldStart / p.Interval)
+	if h < 1 {
+		h = 1
+	}
+	proj := depth + d.fcArrive.PredictSum(h) - d.fcServe.Level()*float64(h)
+	if proj < 0 {
+		return 0
+	}
+	return proj
+}
+
+// preWarmReplacement fires one cold-start duration before a serving
+// incarnation's walltime drain: if the incarnation is still the one the
+// timer was armed for and the pool has standing work and room, its
+// replacement starts now — so when the drain fires, the pool hands over to
+// a serving sibling instead of parking requests behind a fresh prologue.
+// Unlike the watermark branch, a sibling already on the way up does NOT
+// block this: in a churning pool that sibling is usually replacing a
+// different dying incarnation, and this drain is certain (walltime), not
+// speculative. Idle pools deliberately ride the drain down: pre-warming a
+// replacement nobody needs would defeat scale-to-cold.
+func (d *fedDep) preWarmReplacement(j *scheduler.Job, in *fedInstance) {
+	if in.job != j || in.state != instServing {
+		return
+	}
+	if d.depth() == 0 || len(d.insts) >= d.f.p.Scale.MaxInstances {
+		return
+	}
+	d.c.preWarms++
+	d.startInstance()
 }
 
 // tryScaleDown shrinks the pool by one: it cancels an incarnation still

@@ -68,6 +68,16 @@ type FederationParams struct {
 	// the job mid-batch and the survivors migrate.
 	ServeWalltime time.Duration
 	DrainGrace    time.Duration
+	// CordonLead, when positive, flags each serving incarnation this long
+	// before its serve-walltime drain fires (clamped to ServeWalltime/2).
+	// A cordoned instance is skipped by in-pool selection while an
+	// uncordoned sibling serves, and a deployment whose entire serving
+	// capacity is cordoned advertises Cordoned through the routing ladder
+	// (federation.EndpointInfo), steering new arrivals elsewhere one lead
+	// ahead of the drain — shrinking the migrated-request population at
+	// the source. Zero (the default) keeps routing byte-identical to the
+	// drain-blind behaviour.
+	CordonLead time.Duration
 
 	// Scale is the Fig4-style auto-scaling policy growing and shrinking each
 	// deployment's instance pool with demand. The zero value (MaxInstances
@@ -156,6 +166,10 @@ type FedClusterStats struct {
 	ScaleUps     int
 	ScaleDowns   int
 	ScaleRefused int
+	// PreWarms counts predictive cold starts: forecast-driven early
+	// scale-ups plus walltime-replacement pre-warms (both also counted in
+	// ColdStarts — a pre-warm pays the same scheduler path).
+	PreWarms int
 	// BusyGPUSeconds is Σ engine busy time × GPUs over all incarnations
 	// (utilization numerator; divide by total GPUs × horizon).
 	BusyGPUSeconds float64
@@ -188,6 +202,14 @@ type fedInstance struct {
 	job       *scheduler.Job
 	eng       *EngineSim
 	drainDone bool // a zero-delay drain-completion event is queued
+
+	// cordoned marks a serving incarnation inside its CordonLead window:
+	// the walltime drain is imminent, so in-pool selection passes it over
+	// and the routing ladder is told when every serving sibling is in the
+	// same state. drainAt is the kernel time the serve-walltime drain was
+	// armed for (EndpointInfo.DrainingAt observability).
+	cordoned bool
+	drainAt  sim.Time
 }
 
 // fedDep is one (cluster, model) deployment: a pool of 1..MaxInstances
@@ -204,6 +226,29 @@ type fedDep struct {
 	hiStreak int
 	loStreak int
 	peakPool int
+	// lastLive is the live count seen by the previous scaleTick; a change
+	// through any path resets both streaks (the watermarks are
+	// per-instance, so a streak is only meaningful at one denominator).
+	lastLive int
+	// hiRefused latches one ScaleRefused count per sustained at-cap
+	// episode. The episode ends — and the latch clears — only after the
+	// hi condition has been absent for HiSustain consecutive ticks
+	// (hiBreak counts those), mirroring the sustain needed to enter it:
+	// a one-tick flap from pool churn is the same standing episode.
+	hiRefused bool
+	hiBreak   int
+
+	// Predictive-scaler state (autoscale.go, forecast.go): the Holt
+	// arrival forecaster, the service-rate EWMA, the per-tick sample
+	// accumulators they consume, and the deployment's cached cold-start
+	// duration (prologue + weights load — the forecast horizon). All
+	// cluster-shard-owned: samples are counted where offer/onServed run,
+	// so the parallel mode never shares forecast state across shards.
+	fcArrive    Forecast
+	fcServe     Forecast
+	arrivedTick int
+	servedTick  int
+	coldStart   time.Duration
 }
 
 // fedCluster is one simulated cluster: real inventory, real scheduler, one
@@ -232,6 +277,7 @@ type fedCluster struct {
 	scaleUps           int
 	scaleDowns         int
 	scaleRefused       int
+	preWarms           int
 	peakInstances      int
 	busyGPU            time.Duration
 	queuedPeak         int
@@ -327,6 +373,16 @@ func (p FederationParams) withDefaults() FederationParams {
 	if p.DrainGrace <= 0 {
 		p.DrainGrace = d.DrainGrace
 	}
+	// The cordon must leave a serving majority of the walltime: a lead at
+	// or beyond the walltime would cordon the incarnation the moment it
+	// starts serving, so clamp to half — mirroring the LoWater clamp's
+	// anti-livelock reasoning.
+	if p.CordonLead < 0 {
+		p.CordonLead = 0
+	}
+	if p.CordonLead > p.ServeWalltime/2 {
+		p.CordonLead = p.ServeWalltime / 2
+	}
 	p.Scale = p.Scale.withDefaults()
 	return p
 }
@@ -376,7 +432,12 @@ func newFederation(k *sim.Kernel, p FederationParams, newEngine func(*fedCluster
 			Timer:    c.k.Schedule,
 		})
 		for m := range p.Models {
-			c.deps = append(c.deps, &fedDep{f: f, c: c, model: m})
+			c.deps = append(c.deps, &fedDep{
+				f: f, c: c, model: m,
+				coldStart: p.Prologue + p.Models[m].LoadTime(p.GPU),
+				fcArrive:  NewForecast(p.Scale.ForecastAlpha, p.Scale.ForecastBeta),
+				fcServe:   NewForecast(p.Scale.ForecastAlpha, 0),
+			})
 		}
 		c.snap.deps = make([]fedDepSnap, len(p.Models))
 		f.clusters = append(f.clusters, c)
@@ -493,17 +554,53 @@ func (c *fedCluster) endpointInfo(m int, spec *perfmodel.ModelSpec) federation.E
 			NeededGPUs: spec.TensorParallel,
 			Depth:      s.depth,
 			Instances:  s.serving,
+			Cordoned:   s.cordoned,
+			DrainingAt: s.drainingAt,
 		}
 	}
 	d := c.deps[m]
+	serving, cordoned, drainingAt := d.routingView()
 	return federation.EndpointInfo{
 		ID:         c.name,
 		ModelState: d.modelState(),
 		FreeGPUs:   c.cl.Status().FreeGPUs,
 		NeededGPUs: spec.TensorParallel,
 		Depth:      d.depth(),
-		Instances:  d.servingCount(),
+		Instances:  serving,
+		Cordoned:   cordoned,
+		DrainingAt: drainingAt,
 	}
+}
+
+// routingView is one pass over the pool collecting what the routing ladder
+// is told: the uncordoned serving count (the capacity worth advertising),
+// whether serving capacity exists but all of it is cordoned ahead of an
+// imminent drain, and how far away the soonest cordoned drain is. With
+// CordonLead unset no instance ever cordons, so the view reduces exactly
+// to servingCount / false / 0 — the drain-blind ladder inputs.
+func (d *fedDep) routingView() (serving int, cordoned bool, drainingAt time.Duration) {
+	total := 0
+	var soonest sim.Time = -1
+	for _, in := range d.insts {
+		if in.state != instServing {
+			continue
+		}
+		total++
+		if in.cordoned {
+			if soonest < 0 || in.drainAt < soonest {
+				soonest = in.drainAt
+			}
+			continue
+		}
+		serving++
+	}
+	cordoned = total > 0 && serving == 0
+	if soonest >= 0 {
+		if dt := soonest - d.c.k.Now(); dt > 0 {
+			drainingAt = time.Duration(dt)
+		}
+	}
+	return serving, cordoned, drainingAt
 }
 
 // deliver hands a routed request to its target deployment: directly when
@@ -585,6 +682,7 @@ func (d *fedDep) depth() int {
 // instance when one exists, parked (cold-starting the pool's first instance
 // if it is empty) otherwise.
 func (d *fedDep) offer(r *Req) {
+	d.arrivedTick++ // forecast sample: arrivals since the last scaler tick
 	if in := d.pickServing(); in != nil {
 		r.EngineAt = d.c.k.Now()
 		in.eng.Submit(r.PromptTok, r.OutputTok, r)
@@ -658,7 +756,27 @@ func (in *fedInstance) onLoaded(j *scheduler.Job) {
 		r.EngineAt = now
 		t.eng.Submit(r.PromptTok, r.OutputTok, r)
 	}
+	in.drainAt = now + f.p.ServeWalltime
 	d.c.k.Schedule(f.p.ServeWalltime, func() { in.beginDrain(j, false) })
+	if lead := f.p.CordonLead; lead > 0 {
+		// Cordon one lead ahead of the drain: selection and the routing
+		// ladder stop sending new work here while the remaining walltime
+		// is too short to be worth queueing behind.
+		d.c.k.Schedule(f.p.ServeWalltime-lead, func() {
+			if in.job == j && in.state == instServing {
+				in.cordoned = true
+			}
+		})
+	}
+	if f.p.Scale.Predictive {
+		// Arm the replacement pre-warm one cold start before the drain;
+		// the guard re-checks demand and pool room when it fires.
+		lead := d.coldStart
+		if lead > f.p.ServeWalltime {
+			lead = f.p.ServeWalltime
+		}
+		d.c.k.Schedule(f.p.ServeWalltime-lead, func() { d.preWarmReplacement(j, in) })
+	}
 }
 
 // onServed completes one request and, while draining, watches for the batch
@@ -671,6 +789,7 @@ func (in *fedInstance) onServed(j *scheduler.Job, seq *serving.Sequence) {
 	r.CompletedAt = now
 	r.ObservedAt = now
 	d.c.served++
+	d.servedTick++ // forecast sample: completions since the last scaler tick
 	if f.done != nil {
 		if f.par != nil {
 			// The completion callback drives router-side state (closed-loop
@@ -865,6 +984,7 @@ func (f *Federation) ClusterStats() []FedClusterStats {
 			ScaleUps:        c.scaleUps,
 			ScaleDowns:      c.scaleDowns,
 			ScaleRefused:    c.scaleRefused,
+			PreWarms:        c.preWarms,
 			BusyGPUSeconds:  busy.Seconds(),
 			TotalGPUs:       f.p.NodesPerCluster * f.p.GPUsPerNode,
 			SchedQueuedPeak: c.queuedPeak,

@@ -73,10 +73,12 @@ type fedSnap struct {
 // fedDepSnap is one deployment's snapshot row: exactly the fields route and
 // routeReplay consult.
 type fedDepSnap struct {
-	state   string
-	depth   int
-	serving int
-	pool    int
+	state      string
+	depth      int
+	serving    int
+	pool       int
+	cordoned   bool
+	drainingAt time.Duration
 }
 
 // publishSnaps refreshes every cluster's routing snapshot. Barrier context
@@ -85,11 +87,14 @@ func (f *Federation) publishSnaps() {
 	for _, c := range f.clusters {
 		c.snap.freeGPUs = c.cl.Status().FreeGPUs
 		for m, d := range c.deps {
+			serving, cordoned, drainingAt := d.routingView()
 			c.snap.deps[m] = fedDepSnap{
-				state:   d.modelState(),
-				depth:   d.depth(),
-				serving: d.servingCount(),
-				pool:    len(d.insts),
+				state:      d.modelState(),
+				depth:      d.depth(),
+				serving:    serving,
+				pool:       len(d.insts),
+				cordoned:   cordoned,
+				drainingAt: drainingAt,
 			}
 		}
 	}

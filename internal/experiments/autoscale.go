@@ -40,6 +40,12 @@ type AutoScaleCell struct {
 	// Scaler overrides (0 = DefaultAutoScaleParams).
 	ScaleIntervalS   int
 	HiWater, LoWater float64
+	// Predictive turns on the forecast-driven scaler (Holt level+trend per
+	// deployment) plus a one-interval CordonLead so routing stops feeding
+	// incarnations about to drain. Off — the zero value — keeps the
+	// reactive watermark policy byte-for-byte; predictive cells are twins
+	// of reactive ones (same trace seed) so a record compares them directly.
+	Predictive bool
 }
 
 // params resolves the cell's federation parameters.
@@ -67,6 +73,13 @@ func (c AutoScaleCell) params() desmodel.FederationParams {
 	if c.LoWater > 0 {
 		s.LoWater = c.LoWater
 	}
+	if c.Predictive {
+		s.Predictive = true
+		// One scaler interval of routing lead before each walltime drain:
+		// long enough for Select to steer the next arrivals elsewhere,
+		// short enough not to idle capacity.
+		p.CordonLead = s.Interval
+	}
 	p.Scale = s
 	return p
 }
@@ -79,6 +92,15 @@ var AutoScaleCells = []AutoScaleCell{
 	{Shape: "diurnal", Clusters: 4, Reqs: 400_000, BaseRatePerSec: 200, PeriodS: 500, MaxInstances: 4},
 	{Shape: "bursty", Clusters: 4, Reqs: 250_000, BaseRatePerSec: 160, PeriodS: 400, MaxInstances: 4},
 	{Shape: "bursty", Clusters: 8, Reqs: 150_000, BaseRatePerSec: 120, PeriodS: 400, MaxInstances: 3},
+	// Predictive twins of the two c4 cells: identical traces (the cell seed
+	// derives from shape/clusters/reqs only), scaler swapped — the record's
+	// reactive-vs-predictive comparison. One instance of cap headroom over
+	// the reactive twin, same hardware: replacement pre-warms respect the
+	// MaxInstances cap, so a pool that is to overlap a dying incarnation
+	// with its replacement needs the slot to put the replacement in (the
+	// short family's predictive cell documents the same convention).
+	{Shape: "diurnal", Clusters: 4, Reqs: 400_000, BaseRatePerSec: 200, PeriodS: 500, MaxInstances: 5, Predictive: true},
+	{Shape: "bursty", Clusters: 4, Reqs: 250_000, BaseRatePerSec: 160, PeriodS: 400, MaxInstances: 5, Predictive: true},
 }
 
 // AutoScaleCellsShort is the scaled-down family for per-PR differential
@@ -88,14 +110,24 @@ var AutoScaleCellsShort = []AutoScaleCell{
 		ServeWalltimeS: 60, DrainGraceS: 20, BGPeriodS: 90, ScaleIntervalS: 5},
 	{Shape: "bursty", Clusters: 4, Reqs: 30_000, BaseRatePerSec: 160, PeriodS: 120, MaxInstances: 4,
 		ServeWalltimeS: 60, DrainGraceS: 20, BGPeriodS: 90, ScaleIntervalS: 5},
+	// One predictive cell rides in the per-PR family so make check and
+	// make par-diff pin the forecast/cordon path byte-identical across
+	// worker counts, window executors, and queue kinds on every PR. One
+	// extra instance of headroom over the reactive cell: replacement
+	// pre-warms respect the MaxInstances cap, and the 60 s walltime keeps
+	// churning pools pinned at a cap of 3.
+	{Shape: "diurnal", Clusters: 2, Reqs: 25_000, BaseRatePerSec: 120, PeriodS: 150, MaxInstances: 4,
+		ServeWalltimeS: 60, DrainGraceS: 20, BGPeriodS: 90, ScaleIntervalS: 5, Predictive: true},
 }
 
 // AutoScaleRow is one cell's results.
 type AutoScaleRow struct {
 	Shape    string
 	Clusters int
-	Offered  int
-	M        desmodel.Metrics
+	// Predictive marks the forecast-driven twin of a reactive cell.
+	Predictive bool
+	Offered    int
+	M          desmodel.Metrics
 
 	Rungs      desmodel.FedRungs
 	Migrations int64
@@ -104,6 +136,9 @@ type AutoScaleRow struct {
 	ScaleUps     int
 	ScaleDowns   int
 	ScaleRefused int
+	// PreWarms counts forecast-driven starts (projected watermark crossings
+	// and walltime replacements) — predictive cells only.
+	PreWarms int
 	// PeakInstances is the deepest any single cluster's pools grew.
 	PeakInstances int
 	ColdStarts    int
@@ -210,6 +245,7 @@ func autoScaleRow(sys *desmodel.Federation, c AutoScaleCell, offered int, reqs [
 	row := AutoScaleRow{
 		Shape:      c.Shape,
 		Clusters:   c.Clusters,
+		Predictive: c.Predictive,
 		Offered:    offered,
 		M:          desmodel.Collect(reqs),
 		Rungs:      sys.Rungs(),
@@ -221,6 +257,7 @@ func autoScaleRow(sys *desmodel.Federation, c AutoScaleCell, offered int, reqs [
 		row.ScaleUps += cs.ScaleUps
 		row.ScaleDowns += cs.ScaleDowns
 		row.ScaleRefused += cs.ScaleRefused
+		row.PreWarms += cs.PreWarms
 		if cs.PeakInstances > row.PeakInstances {
 			row.PeakInstances = cs.PeakInstances
 		}

@@ -51,7 +51,7 @@ func TestAutoScaleDifferentialQueue(t *testing.T) {
 func assertAutoScaleElasticity(t *testing.T, rows []AutoScaleRow) {
 	t.Helper()
 	var rungs [3]int64
-	var ups, downs, refused, colds, drains int
+	var ups, downs, refused, colds, drains, prewarms int
 	for _, r := range rows {
 		if r.M.Completed != r.Offered {
 			t.Errorf("%s c%d: completed %d of %d requests", r.Shape, r.Clusters, r.M.Completed, r.Offered)
@@ -59,8 +59,14 @@ func assertAutoScaleElasticity(t *testing.T, rows []AutoScaleRow) {
 		if r.M.Failed != 0 {
 			t.Errorf("%s c%d: %d failed requests", r.Shape, r.Clusters, r.M.Failed)
 		}
-		if r.ScaleUps == 0 || r.ScaleDowns == 0 {
-			t.Errorf("%s c%d: scaler fired up=%d down=%d, want both directions nonzero", r.Shape, r.Clusters, r.ScaleUps, r.ScaleDowns)
+		if r.ScaleUps+r.PreWarms == 0 || r.ScaleDowns == 0 {
+			t.Errorf("%s c%d: scaler fired up=%d pre=%d down=%d, want both directions nonzero", r.Shape, r.Clusters, r.ScaleUps, r.PreWarms, r.ScaleDowns)
+		}
+		if r.Predictive && r.PreWarms == 0 {
+			t.Errorf("%s c%d: predictive cell never pre-warmed", r.Shape, r.Clusters)
+		}
+		if !r.Predictive && r.PreWarms != 0 {
+			t.Errorf("%s c%d: reactive cell recorded %d pre-warms; the predictive path leaked", r.Shape, r.Clusters, r.PreWarms)
 		}
 		if r.PeakInstances <= 1 {
 			t.Errorf("%s c%d: peak instances = %d, pools never grew", r.Shape, r.Clusters, r.PeakInstances)
@@ -73,6 +79,7 @@ func assertAutoScaleElasticity(t *testing.T, rows []AutoScaleRow) {
 		refused += r.ScaleRefused
 		colds += r.ColdStarts
 		drains += r.Drains
+		prewarms += r.PreWarms
 	}
 	if rungs[0] == 0 || rungs[1] == 0 || rungs[2] == 0 {
 		t.Errorf("priority ladder not hit on all rungs: active=%d capacity=%d first-conf=%d", rungs[0], rungs[1], rungs[2])
@@ -83,8 +90,8 @@ func assertAutoScaleElasticity(t *testing.T, rows []AutoScaleRow) {
 	if drains == 0 {
 		t.Error("no walltime drains alongside the scaler churn")
 	}
-	if colds <= ups {
-		t.Errorf("cold starts = %d ≤ scale-ups = %d; demand-driven starts missing", colds, ups)
+	if colds <= ups+prewarms {
+		t.Errorf("cold starts = %d ≤ scale-ups %d + pre-warms %d; demand-driven starts missing", colds, ups, prewarms)
 	}
 }
 
@@ -133,6 +140,60 @@ func TestAutoScaleFullScalePar(t *testing.T) {
 	} {
 		if got := RunAutoScaleOn(f, DefaultSeed); !reflect.DeepEqual(got, ref) {
 			t.Errorf("full-scale autoscale diverges at par=%d queue=%v", f.Par, f.Queue)
+		}
+	}
+}
+
+// TestAutoScaleFullScalePredictiveVsReactive is the nightly
+// predictive-vs-reactive sweep: every predictive cell is a twin of a
+// reactive cell on the identical trace, and the forecast-driven scaler must
+// pay for itself — tail latency strictly below the watermark baseline on the
+// trend-forecastable shape (diurnal), no worse on the square wave (bursty
+// has no trend for the Holt forecaster to lead, and its tail is set by
+// at-cap overload in the burst quarters), with refused-at-cap no worse
+// everywhere. (The name rides the ^TestAutoScaleFullScale nightly selector.)
+func TestAutoScaleFullScalePredictiveVsReactive(t *testing.T) {
+	if !autoScaleFullEnabled() {
+		t.Skip("set FIRST_AUTOSCALE_FULL=1 for the full autoscale suite (nightly CI)")
+	}
+	rows := RunAutoScaleOn(Parallel, DefaultSeed)
+	type twin struct {
+		shape    string
+		clusters int
+	}
+	reactive := map[twin]AutoScaleRow{}
+	predictive := map[twin]AutoScaleRow{}
+	for _, r := range rows {
+		k := twin{r.Shape, r.Clusters}
+		if r.Predictive {
+			predictive[k] = r
+		} else {
+			reactive[k] = r
+		}
+	}
+	if len(predictive) == 0 {
+		t.Fatal("full family has no predictive cells")
+	}
+	for k, p := range predictive {
+		r, ok := reactive[k]
+		if !ok {
+			t.Errorf("%s c%d: predictive cell has no reactive twin", k.shape, k.clusters)
+			continue
+		}
+		if p.PreWarms == 0 {
+			t.Errorf("%s c%d: predictive twin never pre-warmed", k.shape, k.clusters)
+		}
+		if k.shape == "diurnal" && p.M.P99LatS >= r.M.P99LatS {
+			t.Errorf("%s c%d: predictive p99 %.2fs not below reactive %.2fs on the same trace",
+				k.shape, k.clusters, p.M.P99LatS, r.M.P99LatS)
+		}
+		if p.M.P99LatS > r.M.P99LatS {
+			t.Errorf("%s c%d: predictive p99 %.2fs worse than reactive %.2fs on the same trace",
+				k.shape, k.clusters, p.M.P99LatS, r.M.P99LatS)
+		}
+		if p.ScaleRefused > r.ScaleRefused {
+			t.Errorf("%s c%d: predictive refused-at-cap %d worse than reactive %d",
+				k.shape, k.clusters, p.ScaleRefused, r.ScaleRefused)
 		}
 	}
 }

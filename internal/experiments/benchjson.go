@@ -174,6 +174,12 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 			m[key+"_req_s"] = r.M.ReqPerSec
 			m[key+"_med_s"] = r.M.MedianLatS
 			m[key+"_migrations"] = float64(r.Migrations)
+			// The drain-aware comparison: cordon_c8 against open_c8 on the
+			// same trace — migrated-request latency is the penalty cordoning
+			// exists to shrink.
+			if r.Mode == "open" || r.Mode == "cordon" {
+				m[key+"_migr_med_s"] = r.MigratedMedianS
+			}
 			if r.Mode == "open" && r.Clusters == 4 {
 				m[key+"_rung_active"] = float64(r.Rungs.Active)
 				m[key+"_rung_capacity"] = float64(r.Rungs.Capacity)
@@ -268,6 +274,13 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 		m := map[string]float64{}
 		for _, r := range RunAutoScaleOn(f, seed) {
 			key := fmt.Sprintf("%s_c%d", r.Shape, r.Clusters)
+			if r.Predictive {
+				// The predictive twins share shape/clusters with their
+				// reactive baselines; the suffix keeps both series in one
+				// record for the forecast-vs-watermark comparison.
+				key += "_pred"
+				m[key+"_prewarms"] = float64(r.PreWarms)
+			}
 			m[key+"_req_s"] = r.M.ReqPerSec
 			m[key+"_scale_ups"] = float64(r.ScaleUps)
 			m[key+"_scale_downs"] = float64(r.ScaleDowns)
@@ -275,6 +288,7 @@ func CollectBench(f Fleet, seed int64) BenchRecord {
 				m[key+"_peak_inst"] = float64(r.PeakInstances)
 				m[key+"_refused"] = float64(r.ScaleRefused)
 				m[key+"_med_s"] = r.M.MedianLatS
+				m[key+"_p99_s"] = r.M.P99LatS
 			}
 		}
 		return m

@@ -35,6 +35,11 @@ type FederateCell struct {
 	ServeWalltimeS int
 	DrainGraceS    int
 	BGPeriodS      int
+	// CordonLeadS, when positive, flags each serving incarnation that many
+	// seconds ahead of its walltime drain so the routing ladder steers new
+	// work away before the drain fires — the drain-aware twin of a plain
+	// open-loop cell (same trace seed), reported as mode "cordon".
+	CordonLeadS int
 
 	// Replay turns the cell into a live-storm calibration twin: all churn
 	// comes from the recorded schedule (kills, cold restarts, background
@@ -64,6 +69,9 @@ func (c FederateCell) params() desmodel.FederationParams {
 		p.BGStagger = p.BGPeriod / 5
 		p.BGWalltime = p.BGPeriod * 2 / 3
 	}
+	if c.CordonLeadS > 0 {
+		p.CordonLead = time.Duration(c.CordonLeadS) * time.Second
+	}
 	if c.Replay != nil {
 		p.Models = []perfmodel.ModelSpec{perfmodel.Default.MustLookup(c.ReplayModel)}
 		p.NodesPerCluster = c.NodesPerCluster
@@ -90,6 +98,15 @@ var FederateCells = []FederateCell{
 	{Clusters: 2, OpenLoopReqs: 200_000, RatePerSec: 200},
 	{Clusters: 4, OpenLoopReqs: 1_000_000, RatePerSec: 200},
 	{Clusters: 8, OpenLoopReqs: 200_000, RatePerSec: 200},
+	// Drain-aware twin of the c8 cell above: identical trace, serving
+	// incarnations cordoned 30 s before their walltime drain so the ladder
+	// stops feeding them — the record's migration-penalty comparison. The
+	// twin needs the wide topology: cordoning only changes a routing
+	// decision when an uncordoned alternative exists (idle capacity or an
+	// active sibling), and the packed 2-cluster sweep point offers neither,
+	// so its twin would ride the dying instance anyway (rung 2b) and
+	// reproduce the drain-blind trace byte for byte.
+	{Clusters: 8, OpenLoopReqs: 200_000, RatePerSec: 200, CordonLeadS: 30},
 	{Clusters: 4, Sessions: 10_000, WindowS: 300, ThinkS: 30,
 		ServeWalltimeS: 120, DrainGraceS: 60, BGPeriodS: 150},
 }
@@ -108,7 +125,7 @@ var FederateCellsShort = []FederateCell{
 // FederateRow is one cell's results.
 type FederateRow struct {
 	Clusters int
-	Mode     string // "open" or "webui"
+	Mode     string // "open", "cordon" (drain-aware open twin), or "webui"
 	Offered  int    // open-loop trace length or issued session turns
 	M        desmodel.Metrics
 
@@ -212,7 +229,16 @@ func federateOpen(a *desmodel.Arena, c FederateCell, seed int64) FederateRow {
 	}
 	k.Schedule(time.Duration(rng.Exp(gapMean)), step)
 	end := k.Run(0)
-	return federateRow(sys, c, "open", n, reqs, end)
+	return federateRow(sys, c, openMode(c), n, reqs, end)
+}
+
+// openMode labels an open-loop cell: drain-aware twins report as "cordon"
+// so reports and bench records keep the reactive baseline's keys intact.
+func openMode(c FederateCell) string {
+	if c.CordonLeadS > 0 {
+		return "cordon"
+	}
+	return "open"
 }
 
 // federateWebUI drives closed-loop WebUI chat sessions (stateful history,

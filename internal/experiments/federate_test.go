@@ -52,7 +52,7 @@ func assertFederateChurn(t *testing.T, rows []FederateRow) {
 	var migrations int64
 	var drains, kills, colds int
 	for _, r := range rows {
-		if r.Mode == "open" && r.M.Completed != r.Offered {
+		if (r.Mode == "open" || r.Mode == "cordon") && r.M.Completed != r.Offered {
 			t.Errorf("%s c%d: completed %d of %d open-loop requests", r.Mode, r.Clusters, r.M.Completed, r.Offered)
 		}
 		if r.M.Failed != 0 {
@@ -116,6 +116,30 @@ func TestFederateFullScale(t *testing.T) {
 		if r.Mode == "webui" && r.Offered < 10_000 {
 			t.Errorf("WebUI cell issued %d turns, want ≥ the 10⁴ sessions' first turns", r.Offered)
 		}
+	}
+	// The drain-aware twin must pay for its cordons on the identical trace:
+	// routing away from incarnations about to drain has to catch fewer
+	// in-flight requests in migrations AND leave the caught ones cheaper.
+	var open, cordon *FederateRow
+	for i := range cal {
+		if r := &cal[i]; r.Clusters == 8 {
+			switch r.Mode {
+			case "open":
+				open = r
+			case "cordon":
+				cordon = r
+			}
+		}
+	}
+	if open == nil || cordon == nil {
+		t.Fatal("full family lost the c8 open/cordon twin pair")
+	}
+	if cordon.Migrations >= open.Migrations {
+		t.Errorf("cordon twin migrated %d requests, not below the drain-blind %d", cordon.Migrations, open.Migrations)
+	}
+	if cordon.MigratedMedianS >= open.MigratedMedianS {
+		t.Errorf("cordon twin migrated-latency median %.2fs not below the drain-blind %.2fs",
+			cordon.MigratedMedianS, open.MigratedMedianS)
 	}
 }
 

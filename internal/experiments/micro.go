@@ -129,6 +129,17 @@ func CollectMicro() map[string]MicroBench {
 	out["scaler_tick"] = measureMicro(1000000, tick)
 	out["scaler_pick"] = measureMicro(1000000, pick)
 
+	// Arrival forecaster: one observe + horizon projection — the extra work
+	// every predictive scaler tick does per deployment, pinned at 0
+	// allocs/op.
+	fc := desmodel.NewForecast(0, 0)
+	var fsink float64
+	out["forecast_observe"] = measureMicro(1000000, func() {
+		fc.Observe(17)
+		fsink += fc.PredictSum(8)
+	})
+	_ = fsink
+
 	// Sharded kernel: one cross-shard mailbox round trip (enqueue, ordered
 	// drain, delivery) — the per-hop cost the parallel DES pays at every
 	// window barrier, pinned at 0 allocs/op steady state.

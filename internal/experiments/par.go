@@ -54,7 +54,7 @@ func federateOpenPar(f Fleet, c FederateCell, seed int64) FederateRow {
 	}
 	k.Schedule(time.Duration(rng.Exp(gapMean)), step)
 	end := sys.RunPar(0, func() bool { return completed >= n })
-	return federateRow(sys, c, "open", n, reqs, end)
+	return federateRow(sys, c, openMode(c), n, reqs, end)
 }
 
 // federateWebUIPar is federateWebUI on the sharded federation: the closed

@@ -127,11 +127,15 @@ func rungShares(a, c, f int64) (float64, float64, float64) {
 // scheduler cold-start and drain paths.
 func ReportAutoScale(w io.Writer, rows []AutoScaleRow) {
 	fmt.Fprintln(w, "== Auto-scaling: elastic instance pools inside federated clusters (Fig4 beyond paper size) ==")
-	fmt.Fprintln(w, "shape    clus  offered   done     req/s  med-lat(s)  p99(s)  up/down/refuse  peak-inst  cold/drain/kill  migr    util mean/max%")
+	fmt.Fprintln(w, "shape       clus  offered   done     req/s  med-lat(s)  p99(s)  up/pre/down/refuse  peak-inst  cold/drain/kill  migr    util mean/max%")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-4d %8d %8d %8.1f  %9.2f %7.2f  %5d/%4d/%5d  %9d  %4d/%4d/%3d %8d    %5.1f/%5.1f\n",
-			r.Shape, r.Clusters, r.Offered, r.M.Completed, r.M.ReqPerSec, r.M.MedianLatS, r.M.P99LatS,
-			r.ScaleUps, r.ScaleDowns, r.ScaleRefused, r.PeakInstances,
+		shape := r.Shape
+		if r.Predictive {
+			shape += "+pred"
+		}
+		fmt.Fprintf(w, "%-11s %-4d %8d %8d %8.1f  %9.2f %7.2f  %4d/%3d/%4d/%5d  %9d  %4d/%4d/%3d %8d    %5.1f/%5.1f\n",
+			shape, r.Clusters, r.Offered, r.M.Completed, r.M.ReqPerSec, r.M.MedianLatS, r.M.P99LatS,
+			r.ScaleUps, r.PreWarms, r.ScaleDowns, r.ScaleRefused, r.PeakInstances,
 			r.ColdStarts, r.Drains, r.HardKills, r.Migrations,
 			r.UtilMeanPct, r.UtilMaxPct)
 	}

@@ -162,6 +162,28 @@ func (d *Deployment) ReadyCount() int {
 	return n
 }
 
+// CordonInfo splits the ready count for drain-aware routing: ready is the
+// instances accepting new work, stopping the ones flagged for a voluntary
+// scale-down that are finishing their current load. A deployment whose
+// ready capacity is entirely stopping advertises Cordoned through
+// federation.EndpointInfo so the ladder steers new requests elsewhere
+// before the stop lands, instead of after.
+func (d *Deployment) CordonInfo() (ready, stopping int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, in := range d.instances {
+		if in.state != instReady {
+			continue
+		}
+		if in.stopping {
+			stopping++
+		} else {
+			ready++
+		}
+	}
+	return ready, stopping
+}
+
 // Depth returns total waiting+running sequences across ready instances.
 func (d *Deployment) Depth() int {
 	d.mu.Lock()

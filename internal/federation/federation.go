@@ -41,7 +41,22 @@ type EndpointInfo struct {
 	// (auto-scaled pools). The active-rung tie-break compares depth per
 	// instance, so a pool that scaled out advertises its extra capacity.
 	// Zero is treated as one (single-instance endpoints predate the field).
+	// Deployments that cordon ahead of drains advertise only their
+	// uncordoned serving capacity here.
 	Instances int
+	// Cordoned reports that the deployment has serving capacity but all of
+	// it is flagged for an imminent drain (serve-walltime expiry or
+	// voluntary scale-down). Select demotes a cordoned endpoint below
+	// every other viable candidate — new work routed there would only join
+	// the migration the drain is about to trigger — but still prefers it
+	// over a blind first-configured pick, so requests are never parked
+	// while capacity exists. False (the zero value) keeps the ladder's
+	// drain-blind behaviour exactly.
+	Cordoned bool
+	// DrainingAt is how far away the deployment's soonest flagged drain
+	// is (zero when none is imminent) — observability alongside Cordoned;
+	// Select keys on the boolean only.
+	DrainingAt time.Duration
 }
 
 // Reason explains a routing decision (logged and exposed on the dashboard).
@@ -63,10 +78,20 @@ func Select(candidates []EndpointInfo) (int, Reason, error) {
 	// 1) Running or queued instance — among those, least depth per live
 	// instance wins (an auto-scaled pool spreads its queue over more
 	// engines). Compared cross-multiplied so the tie-break stays integral.
-	best := -1
+	// Cordoned endpoints (active capacity, all of it about to drain) are
+	// tracked separately: they lose to any uncordoned active endpoint and
+	// to any capacity-rung pick, and win only over first-configured —
+	// riding a known-dying instance still beats a blind cold start.
+	best, bestCordoned := -1, -1
 	for i, c := range candidates {
 		switch c.ModelState {
 		case "running", "starting", "queued":
+			if c.Cordoned {
+				if bestCordoned == -1 || lessLoaded(c, candidates[bestCordoned]) {
+					bestCordoned = i
+				}
+				continue
+			}
 			if best == -1 || lessLoaded(c, candidates[best]) {
 				best = i
 			}
@@ -80,6 +105,12 @@ func Select(candidates []EndpointInfo) (int, Reason, error) {
 		if c.FreeGPUs >= c.NeededGPUs && c.NeededGPUs > 0 {
 			return i, ReasonCapacity, nil
 		}
+	}
+	// 2b) Every active endpoint is cordoned and nothing has capacity:
+	// take the least-loaded cordoned one rather than a first-configured
+	// guess with no instance at all.
+	if bestCordoned >= 0 {
+		return bestCordoned, ReasonActive, nil
 	}
 	// 3) First configured.
 	return 0, ReasonFirstConf, nil
@@ -252,7 +283,12 @@ func (r *Router) RouteAvoiding(model string, avoid []string) (Decision, error) {
 			st := d.Status()
 			info.ModelState = st.State
 			info.Depth = d.Depth()
-			info.Instances = d.ReadyCount()
+			// Advertise only the capacity not flagged for a voluntary
+			// stop; a deployment that is all-stopping is cordoned and the
+			// ladder demotes it below every other viable candidate.
+			ready, stopping := d.CordonInfo()
+			info.Instances = ready
+			info.Cordoned = ready == 0 && stopping > 0
 		}
 		info.FreeGPUs = ep.Scheduler().Cluster().Status().FreeGPUs
 		infos[i] = info

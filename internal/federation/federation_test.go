@@ -468,3 +468,77 @@ func TestRouterBreakerAwareRouting(t *testing.T) {
 		t.Errorf("detached route = %v/%v, want ep-a", d, err)
 	}
 }
+
+// TestSelectCordonedDemotion pins the drain-aware rung order: a cordoned
+// active endpoint loses to any uncordoned active endpoint and to any
+// capacity-rung pick, but still beats a blind first-configured guess —
+// and the zero value (Cordoned false) leaves every pre-existing decision
+// untouched.
+func TestSelectCordonedDemotion(t *testing.T) {
+	cases := []struct {
+		name       string
+		candidates []EndpointInfo
+		wantIdx    int
+		wantReason Reason
+	}{
+		{
+			name: "uncordoned active beats cordoned active with less depth",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 0, Cordoned: true},
+				{ID: "b", ModelState: "running", Depth: 50},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "capacity beats cordoned active",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 0, Cordoned: true},
+				{ID: "b", ModelState: "cold", FreeGPUs: 16, NeededGPUs: 8},
+			},
+			wantIdx: 1, wantReason: ReasonCapacity,
+		},
+		{
+			name: "cordoned active beats first-configured",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "cold", FreeGPUs: 0, NeededGPUs: 8},
+				{ID: "b", ModelState: "running", Depth: 9, Cordoned: true},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "least loaded among all-cordoned candidates",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 50, Cordoned: true},
+				{ID: "b", ModelState: "running", Depth: 5, Cordoned: true},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "zero value keeps the drain-blind decision",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 50},
+				{ID: "b", ModelState: "running", Depth: 5},
+			},
+			wantIdx: 1, wantReason: ReasonActive,
+		},
+		{
+			name: "DrainingAt alone does not demote (Select keys on the bool)",
+			candidates: []EndpointInfo{
+				{ID: "a", ModelState: "running", Depth: 5, DrainingAt: time.Second},
+				{ID: "b", ModelState: "running", Depth: 50},
+			},
+			wantIdx: 0, wantReason: ReasonActive,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, reason, err := Select(tc.candidates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != tc.wantIdx || reason != tc.wantReason {
+				t.Fatalf("Select = (%d, %s), want (%d, %s)", idx, reason, tc.wantIdx, tc.wantReason)
+			}
+		})
+	}
+}

@@ -208,3 +208,33 @@ func TestSetHealthAndRetryAfter(t *testing.T) {
 		t.Fatalf("trips = %d", s.Trips())
 	}
 }
+
+// TestSetEWMASeedsWithFirstLatency pins the EWMA seeding contract: the
+// first recorded latency becomes the smoothed value exactly. The pre-fix
+// accumulator started at zero and decayed upward by α = 1/8 per sample, so
+// an endpoint with a steady 80 ms latency reported ~10 ms after its first
+// attempt and under-reported for dozens more — health-based decisions saw
+// a phantom fast endpoint.
+func TestSetEWMASeedsWithFirstLatency(t *testing.T) {
+	s := NewSet(testCfg())
+	now := time.Unix(1000, 0)
+	s.Record("ep", now, 80*time.Millisecond, true)
+	snap := s.Snapshot()
+	if got := snap[0].Health.EWMALatency; got != 80*time.Millisecond {
+		t.Fatalf("EWMA after first sample = %v, want exactly 80ms (zero-seeded decay)", got)
+	}
+	// A constant stream must never report below the stream's value: any dip
+	// means the zero seed is still mixed into the average.
+	for i := 0; i < 50; i++ {
+		s.Record("ep", now.Add(time.Duration(i)*time.Second), 80*time.Millisecond, true)
+		if got := s.Snapshot()[0].Health.EWMALatency; got != 80*time.Millisecond {
+			t.Fatalf("EWMA drifted to %v after %d constant 80ms samples", got, i+2)
+		}
+	}
+	// Zero-latency records (callers without a timing) must not clobber the
+	// seed back toward zero.
+	s.Record("ep", now, 0, true)
+	if got := s.Snapshot()[0].Health.EWMALatency; got != 80*time.Millisecond {
+		t.Fatalf("EWMA = %v after a zero-latency record, want 80ms untouched", got)
+	}
+}
